@@ -1,0 +1,28 @@
+"""Figure 7: the nature of SSRQ — hop statistics and Jaccard overlap."""
+
+from benchmarks.conftest import PROFILE
+from repro.bench.figures import fig7a, fig7b
+
+
+def test_fig7a_hop_statistics(benchmark):
+    tables = benchmark.pedantic(fig7a, args=(PROFILE,), rounds=1, iterations=1)
+    table = tables[0]
+    print()
+    print(table.to_text())
+    # Results span multiple hops (paper: up to ~8); at least one row
+    # must reach beyond the immediate friends.
+    assert max(table.column("G. Max. hop")) >= 2
+    assert max(table.column("F. Max. hop")) >= 2
+
+
+def test_fig7b_jaccard_vs_single_domain(benchmark):
+    tables = benchmark.pedantic(fig7b, args=(PROFILE,), rounds=1, iterations=1)
+    table = tables[0]
+    print()
+    print(table.to_text())
+    vs_social = table.column("vs. social")
+    vs_spatial = table.column("vs. spatial")
+    # As alpha grows, SSRQ approaches the social top-k and departs from
+    # the spatial one (the paper's monotone trend).
+    assert vs_social[-1] >= vs_social[0]
+    assert vs_spatial[-1] <= vs_spatial[0]

@@ -1,0 +1,50 @@
+"""Figure 8: effect of k on run-time and pop ratio, incl. CH variants."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.figures import CH_METHODS, MAIN_METHODS
+from repro.bench.workloads import get_bundle
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+@pytest.mark.parametrize("k", PROFILE.k_values)
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig8_main_methods(benchmark, kind, k, method):
+    bundle = get_bundle(kind, PROFILE)
+    agg = run_point(
+        benchmark, bundle.engine, bundle.query_users, method, k, PROFILE.default_alpha
+    )
+    assert len(agg.results) == 0  # results not retained in timing runs
+    assert agg.avg_time > 0
+
+
+@pytest.mark.parametrize("kind", ["gowalla-ch", "foursquare-ch"])
+@pytest.mark.parametrize("k", [min(PROFILE.k_values), PROFILE.default_k])
+@pytest.mark.parametrize("method", CH_METHODS)
+def test_fig8_ch_variants(benchmark, kind, k, method):
+    """CH-backed distance modules, on the reduced CH instances."""
+    bundle = get_bundle(kind, PROFILE, queries=PROFILE.ch_queries)
+    users = bundle.query_users[: PROFILE.ch_queries]
+    agg = run_point(benchmark, bundle.engine, users, method, k, PROFILE.default_alpha)
+    assert agg.avg_time > 0
+
+
+@pytest.mark.parametrize("kind", ["gowalla-ch", "foursquare-ch"])
+def test_fig8_ch_slower_than_vanilla(benchmark, kind):
+    """The paper's Figure 8 finding: CH variants lose to the vanilla
+    methods' shared incremental Dijkstra."""
+    from repro.bench.runner import run_method
+
+    bundle = get_bundle(kind, PROFILE, queries=PROFILE.ch_queries)
+    users = bundle.query_users[: PROFILE.ch_queries]
+
+    def both():
+        vanilla = run_method(bundle.engine, users, "sfa", k=PROFILE.default_k)
+        ch = run_method(bundle.engine, users, "sfa-ch", k=PROFILE.default_k)
+        return vanilla, ch
+
+    vanilla, ch = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["vanilla_s"] = round(vanilla.avg_time, 4)
+    benchmark.extra_info["ch_s"] = round(ch.avg_time, 4)
+    assert ch.avg_time > vanilla.avg_time

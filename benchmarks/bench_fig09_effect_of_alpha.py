@@ -1,0 +1,36 @@
+"""Figure 9: effect of the preference parameter alpha."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.figures import MAIN_METHODS
+from repro.bench.workloads import get_bundle
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+@pytest.mark.parametrize("alpha", PROFILE.alpha_values)
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig9_alpha_sweep(benchmark, kind, alpha, method):
+    bundle = get_bundle(kind, PROFILE)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method, PROFILE.default_k, alpha
+    )
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+def test_fig9_sfa_improves_with_alpha(benchmark, kind):
+    """SFA examines vertices in social order, so a larger alpha
+    (stronger social weight) tightens its bound (paper Section 6)."""
+    from repro.bench.runner import run_method
+
+    bundle = get_bundle(kind, PROFILE)
+
+    def run():
+        lo = run_method(bundle.engine, bundle.query_users, "sfa", k=PROFILE.default_k, alpha=0.1)
+        hi = run_method(bundle.engine, bundle.query_users, "sfa", k=PROFILE.default_k, alpha=0.9)
+        return lo, hi
+
+    lo, hi = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pops_alpha_0.1"] = lo.avg_pops
+    benchmark.extra_info["pops_alpha_0.9"] = hi.avg_pops
+    assert hi.avg_pops <= lo.avg_pops

@@ -1,0 +1,46 @@
+"""Figure 10: AIS-BID vs AIS− vs AIS."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.figures import AIS_VERSIONS
+from repro.bench.workloads import get_bundle
+
+# AIS-BID repeats a from-scratch bidirectional search per evaluation —
+# the paper's point is precisely how expensive that is, so the sweep
+# uses the two ends of the k range rather than all five points.
+_K_POINTS = (min(PROFILE.k_values), max(PROFILE.k_values))
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+@pytest.mark.parametrize("k", _K_POINTS)
+@pytest.mark.parametrize("method", AIS_VERSIONS)
+def test_fig10_version_sweep(benchmark, kind, k, method):
+    bundle = get_bundle(kind, PROFILE)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method, k, PROFILE.default_alpha
+    )
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+def test_fig10_sharing_beats_bid(benchmark, kind):
+    """Computation sharing (AIS−) must beat per-evaluation bidirectional
+    search (AIS-BID) on both time and pops (paper Figure 10)."""
+    from repro.bench.runner import run_method
+
+    bundle = get_bundle(kind, PROFILE)
+
+    def run():
+        bid = run_method(bundle.engine, bundle.query_users, "ais-bid", k=PROFILE.default_k)
+        minus = run_method(bundle.engine, bundle.query_users, "ais-minus", k=PROFILE.default_k)
+        full = run_method(bundle.engine, bundle.query_users, "ais", k=PROFILE.default_k)
+        return bid, minus, full
+
+    bid, minus, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bid_s"] = round(bid.avg_time, 4)
+    benchmark.extra_info["minus_s"] = round(minus.avg_time, 4)
+    benchmark.extra_info["full_s"] = round(full.avg_time, 4)
+    assert minus.avg_time < bid.avg_time
+    assert minus.avg_pops < bid.avg_pops
+    # Delayed evaluation must not increase exact evaluations.
+    assert full.avg_evaluations <= minus.avg_evaluations

@@ -1,0 +1,44 @@
+"""Figure 12: effect of the grid granularity parameter s."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.workloads import get_bundle
+
+_METHODS = ("spa", "ais-bid", "ais-minus", "ais")
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare"])
+@pytest.mark.parametrize("s", PROFILE.s_values)
+@pytest.mark.parametrize("method", ["spa", "ais"])
+def test_fig12_granularity_sweep(benchmark, kind, s, method):
+    bundle = get_bundle(kind, PROFILE, s=s)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method,
+        PROFILE.default_k, PROFILE.default_alpha,
+    )
+
+
+@pytest.mark.parametrize("kind", ["gowalla"])
+@pytest.mark.parametrize("method", ["ais-bid", "ais-minus"])
+def test_fig12_ais_versions_at_extremes(benchmark, kind, method):
+    """The slower AIS versions at the two ends of the s range."""
+    from repro.bench.runner import run_method
+
+    s_lo, s_hi = min(PROFILE.s_values), max(PROFILE.s_values)
+
+    def run():
+        out = []
+        for s in (s_lo, s_hi):
+            bundle = get_bundle(kind, PROFILE, s=s)
+            out.append(
+                run_method(
+                    bundle.engine, bundle.query_users, method,
+                    k=PROFILE.default_k, alpha=PROFILE.default_alpha,
+                )
+            )
+        return out
+
+    lo, hi = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info[f"s={s_lo}_s"] = round(lo.avg_time, 4)
+    benchmark.extra_info[f"s={s_hi}_s"] = round(hi.avg_time, 4)

@@ -1,0 +1,56 @@
+"""Figure 13: the high-average-degree Twitter-like dataset."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.figures import MAIN_METHODS
+from repro.bench.workloads import get_bundle
+
+
+@pytest.mark.parametrize("k", PROFILE.k_values)
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig13_by_k(benchmark, k, method):
+    bundle = get_bundle("twitter", PROFILE)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method, k, PROFILE.default_alpha
+    )
+
+
+@pytest.mark.parametrize("alpha", PROFILE.alpha_values)
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig13_by_alpha(benchmark, alpha, method):
+    bundle = get_bundle("twitter", PROFILE)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method, PROFILE.default_k, alpha
+    )
+
+
+def test_fig13_high_degree_shrinks_hop_radius(benchmark):
+    """Paper: the higher degree means results are reachable in fewer
+    hops than on the default datasets."""
+    import math
+
+    from repro.graph.traversal import DijkstraIterator
+
+    def furthest_hops(kind):
+        bundle = get_bundle(kind, PROFILE)
+        hops = []
+        for user in bundle.query_users:
+            result = bundle.engine.query(user, k=PROFILE.default_k, alpha=0.3)
+            if not result.neighbors:
+                continue
+            tree = DijkstraIterator(bundle.engine.graph, user)
+            target = result.neighbors[-1].user
+            if tree.run_until(target) == math.inf:
+                continue
+            hops.append(len(tree.path_to(target)) - 1)
+        return sum(hops) / len(hops)
+
+    twitter, gowalla = benchmark.pedantic(
+        lambda: (furthest_hops("twitter"), furthest_hops("gowalla")),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["twitter_avg_hops"] = round(twitter, 2)
+    benchmark.extra_info["gowalla_avg_hops"] = round(gowalla, 2)
+    assert twitter <= gowalla + 1.0

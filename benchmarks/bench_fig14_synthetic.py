@@ -1,0 +1,75 @@
+"""Figure 14: correlation-controlled data and scalability."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE, run_point
+from repro.bench.figures import MAIN_METHODS
+from repro.bench.workloads import get_bundle
+
+_CORRELATIONS = ("positive", "independent", "negative")
+
+
+@pytest.mark.parametrize("correlation", _CORRELATIONS)
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig14a_correlation(benchmark, correlation, method):
+    bundle = get_bundle(f"correlated-{correlation}", PROFILE)
+    users = bundle.query_users * max(3, PROFILE.queries // 2)
+    run_point(
+        benchmark, bundle.engine, users, method, PROFILE.default_k, PROFILE.default_alpha
+    )
+
+
+def test_fig14a_positive_faster_than_negative(benchmark):
+    """Positively correlated social/spatial proximity lets every method
+    terminate earlier (paper Figure 14a) — checked on pops, the
+    noise-free cost measure."""
+    from repro.bench.runner import run_method
+
+    def run():
+        out = {}
+        for correlation in ("positive", "negative"):
+            bundle = get_bundle(f"correlated-{correlation}", PROFILE)
+            out[correlation] = run_method(
+                bundle.engine, bundle.query_users, "tsa",
+                k=PROFILE.default_k, alpha=PROFILE.default_alpha,
+            )
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["positive_pops"] = result["positive"].avg_pops
+    benchmark.extra_info["negative_pops"] = result["negative"].avg_pops
+    assert result["positive"].avg_pops <= result["negative"].avg_pops
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+@pytest.mark.parametrize("method", MAIN_METHODS)
+def test_fig14b_scalability(benchmark, index, method):
+    bundle = get_bundle(f"scale-{index}", PROFILE)
+    run_point(
+        benchmark, bundle.engine, bundle.query_users, method,
+        PROFILE.default_k, PROFILE.default_alpha,
+    )
+
+
+def test_fig14b_cost_grows_with_size(benchmark):
+    """Run-time/pops grow (roughly linearly) with |V| for every method."""
+    from repro.bench.runner import run_method
+
+    def run():
+        pops = []
+        for index in (0, 2):
+            bundle = get_bundle(f"scale-{index}", PROFILE)
+            agg = run_method(
+                bundle.engine, bundle.query_users, "sfa",
+                k=PROFILE.default_k, alpha=PROFILE.default_alpha,
+            )
+            pops.append((bundle.engine.graph.n, agg.avg_pops))
+        return pops
+
+    (n_small, pops_small), (n_big, pops_big) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["pops_small"] = pops_small
+    benchmark.extra_info["pops_big"] = pops_big
+    assert n_big > n_small
+    assert pops_big > pops_small

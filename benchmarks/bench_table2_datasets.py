@@ -1,0 +1,30 @@
+"""Table 2: dataset statistics (build cost + calibration checks)."""
+
+import pytest
+
+from benchmarks.conftest import PROFILE
+from repro.bench.figures import table2
+from repro.bench.workloads import get_bundle
+
+
+@pytest.mark.parametrize("kind", ["gowalla", "foursquare", "twitter"])
+def test_table2_dataset_build(benchmark, kind):
+    """Times dataset+engine construction; asserts Table 2 calibration."""
+    bundle = benchmark.pedantic(get_bundle, args=(kind, PROFILE), rounds=1, iterations=1)
+    stats = bundle.dataset.stats()
+    benchmark.extra_info.update(stats)
+    if kind == "twitter":
+        assert stats["avg_degree"] > 40  # paper: 57.7
+        assert stats["coverage"] == 1.0
+    else:
+        assert 8 <= stats["avg_degree"] <= 12  # paper: 9.7 / 9.5
+        expected = 0.544 if kind == "gowalla" else 0.603
+        assert abs(stats["coverage"] - expected) < 0.03
+
+
+def test_table2_rows(benchmark):
+    """Regenerates the Table 2 rows."""
+    tables = benchmark.pedantic(table2, args=(PROFILE,), rounds=1, iterations=1)
+    print()
+    print(tables[0].to_text())
+    assert len(tables[0].rows) == 3

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table/figure of the paper: every
+pytest-benchmark case is one data point (one method at one x-axis
+value), timed as a single batch of queries (``rounds=1`` — the paper
+averages over repeated *queries*, not repeated batch runs).
+
+Scale comes from ``REPRO_BENCH_PROFILE`` (smoke/quick/full, default
+quick); see ``repro/bench/config.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import get_profile
+
+PROFILE = get_profile()
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return PROFILE
+
+
+def run_point(benchmark, engine, users, method, k, alpha, t=None):
+    """Benchmark one data point: a full query batch, one round."""
+    from repro.bench.runner import run_method
+
+    aggregate = benchmark.pedantic(
+        run_method,
+        args=(engine, users, method),
+        kwargs={"k": k, "alpha": alpha, "t": t},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["queries"] = aggregate.queries
+    benchmark.extra_info["avg_query_time_s"] = round(aggregate.avg_time, 6)
+    benchmark.extra_info["pop_ratio"] = round(aggregate.pop_ratio, 4)
+    return aggregate

@@ -1,0 +1,81 @@
+"""repro — Joint Search by Social and Spatial Proximity (SSRQ).
+
+A complete reproduction of Mouratidis, Li, Tang & Mamoulis, *"Joint
+Search by Social and Spatial Proximity"* (IEEE TKDE 27(3), 2015): the
+social-and-spatial ranking query, every processing algorithm the paper
+proposes (SFA, SPA, TSA, TSA-QC, AIS and its variants, pre-computation),
+every substrate it depends on (weighted graph search, ALT landmarks,
+bidirectional distance modules, Contraction Hierarchies, grid spatial
+indexes, the aggregate index with social summaries), calibrated dataset
+generators, and a benchmark harness regenerating the paper's evaluation.
+
+Quickstart::
+
+    from repro import GeoSocialEngine, gowalla_like
+
+    dataset = gowalla_like(n=2000, seed=7)
+    engine = GeoSocialEngine.from_dataset(dataset)
+    result = engine.query(user=42, k=10, alpha=0.3, method="ais")
+    for nb in result:
+        print(nb.user, nb.score, nb.social, nb.spatial)
+"""
+
+from repro.core.ais import AggregateIndexSearch, AISVariant
+from repro.core.bruteforce import BruteForceSearch
+from repro.core.engine import METHODS, GeoSocialEngine
+from repro.core.precompute import CachedSocialFirst, SocialNeighborCache
+from repro.core.ranking import Normalization, RankingFunction
+from repro.core.result import Neighbor, SSRQResult, TopKBuffer
+from repro.core.sfa import SocialFirstSearch
+from repro.core.spa import SpatialFirstSearch
+from repro.core.stats import SearchStats
+from repro.core.tsa import TwofoldSearch
+from repro.datasets.synthetic import (
+    GeoSocialDataset,
+    build_dataset,
+    correlated_dataset,
+    forest_fire_series,
+    foursquare_like,
+    gowalla_like,
+    twitter_like,
+)
+from repro.graph.socialgraph import SocialGraph
+from repro.index.aggregate import AggregateIndex
+from repro.spatial.point import BBox, LocationTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine & algorithms
+    "GeoSocialEngine",
+    "METHODS",
+    "SocialFirstSearch",
+    "SpatialFirstSearch",
+    "TwofoldSearch",
+    "AggregateIndexSearch",
+    "AISVariant",
+    "SocialNeighborCache",
+    "CachedSocialFirst",
+    "BruteForceSearch",
+    # query model
+    "Normalization",
+    "RankingFunction",
+    "Neighbor",
+    "SSRQResult",
+    "TopKBuffer",
+    "SearchStats",
+    # data model
+    "SocialGraph",
+    "LocationTable",
+    "BBox",
+    "AggregateIndex",
+    "GeoSocialDataset",
+    # dataset builders
+    "build_dataset",
+    "gowalla_like",
+    "foursquare_like",
+    "twitter_like",
+    "correlated_dataset",
+    "forest_fire_series",
+]

@@ -1,0 +1,217 @@
+"""Aggregate Index Search — AIS (paper Section 5, Algorithm 2).
+
+One unified branch-and-bound search over the aggregate index: a
+min-heap holds internal nodes, leaf cells, and individual users, each
+keyed by a lower bound on the best score it can contain:
+
+- nodes/cells: ``MINF = α·p̌(v_q, C) + (1−α)·ď(u_q, C)`` (Theorem 1),
+  with ``p̌`` from the cell's social summary (Lemma 2);
+- users: per-vertex landmark bound combined with their exact Euclidean
+  distance.
+
+Popping a user triggers an exact social-distance evaluation through the
+bidirectional module of Section 5.2 (shared forward Dijkstra + caches).
+The search terminates when the heap's head key reaches ``f_k``.
+
+The *delayed evaluation strategy* (Section 5.3): before evaluating a
+popped user whose distance is not already known, compare their key with
+``α·β + (1−α)·d`` where ``β`` is the forward search's frontier
+distance; if the key is looser, re-insert with the tighter bound instead
+of paying for an exact computation.
+
+Three variants reproduce Figure 10:
+
+====================  =============================================
+``AISVariant.bid()``  fresh bidirectional search per evaluation, no
+                      caches, no delayed evaluation (**AIS-BID**)
+``AISVariant.minus()``  shared forward search + caches (**AIS−**)
+``AISVariant.full()``   everything incl. delayed evaluation (**AIS**)
+====================  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.ranking import Normalization, RankingFunction
+from repro.core.result import SSRQResult, TopKBuffer
+from repro.core.stats import SearchStats
+from repro.graph.bidirectional import BidirectionalDistanceEngine
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.index.aggregate import AggregateIndex
+from repro.index.bounds import social_lower_bound, social_lower_bound_vertex
+from repro.spatial.point import LocationTable
+from repro.utils.heaps import MinHeap
+from repro.utils.validation import check_user
+
+INF = math.inf
+_TOP = 0
+_LEAF = 1
+_USER = 2
+
+
+@dataclass(frozen=True)
+class AISVariant:
+    """Feature switches distinguishing AIS-BID / AIS− / AIS."""
+
+    share_forward: bool = True
+    cache_paths: bool = True
+    delayed_evaluation: bool = True
+    #: ablation (not in the paper): drop social summaries, keeping only
+    #: spatial bounds in cell keys
+    use_social_summaries: bool = True
+    #: forward/reverse step ratio of the distance engine (1 = the
+    #: paper's strict alternation; see BidirectionalDistanceEngine)
+    forward_interleave: int = 1
+
+    @classmethod
+    def full(cls) -> "AISVariant":
+        """All optimisations (the paper's AIS)."""
+        return cls()
+
+    @classmethod
+    def minus(cls) -> "AISVariant":
+        """All optimisations except delayed evaluation (AIS−)."""
+        return cls(delayed_evaluation=False)
+
+    @classmethod
+    def bid(cls) -> "AISVariant":
+        """Plain bidirectional search per evaluation (AIS-BID)."""
+        return cls(share_forward=False, cache_paths=False, delayed_evaluation=False)
+
+    @classmethod
+    def no_summaries(cls) -> "AISVariant":
+        """Ablation: spatial-only cell bounds."""
+        return cls(use_social_summaries=False)
+
+
+class AggregateIndexSearch:
+    """AIS query processor."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        locations: LocationTable,
+        landmarks: LandmarkIndex,
+        index: AggregateIndex,
+        normalization: Normalization,
+        variant: AISVariant | None = None,
+    ) -> None:
+        self.graph = graph
+        self.locations = locations
+        self.landmarks = landmarks
+        self.index = index
+        self.normalization = normalization
+        self.variant = variant if variant is not None else AISVariant.full()
+
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial: TopKBuffer | None = None,
+    ) -> SSRQResult:
+        """Answer the query; an optional ``initial`` buffer of already
+        fully-evaluated users warm-starts the threshold ``f_k`` (used by
+        the AIS-Cache fallback, Section 5.4)."""
+        check_user(query_user, self.graph.n)
+        stats = SearchStats()
+        start = time.perf_counter()
+        rank = RankingFunction(alpha, self.normalization)
+        variant = self.variant
+
+        location = self.locations.get(query_user)
+        if location is None and rank.needs_spatial:
+            raise ValueError(
+                f"query user {query_user} has no known location; SSRQ with "
+                "alpha < 1 is undefined (paper assumes located query users)"
+            )
+        qx, qy = location if location is not None else (math.nan, math.nan)
+        query_vector = self.landmarks.vector(query_user)
+
+        engine = BidirectionalDistanceEngine(
+            self.graph,
+            query_user,
+            landmarks=self.landmarks,
+            share_forward=variant.share_forward,
+            cache_paths=variant.cache_paths,
+            forward_interleave=variant.forward_interleave,
+        )
+        buffer = initial if initial is not None else TopKBuffer(k)
+        heap = MinHeap()
+        index = self.index
+        locations = self.locations
+        use_summaries = variant.use_social_summaries
+        seq = 0  # deterministic tie-break for equal keys
+
+        for top, summary, bbox in index.tops():
+            social_lb = (
+                social_lower_bound(query_vector, summary.m_check, summary.m_hat)
+                if use_summaries
+                else 0.0
+            )
+            spatial_lb = (
+                index.spatial_mindist(bbox, top, True, qx, qy)
+                if rank.needs_spatial
+                else 0.0
+            )
+            key = rank.social_part(social_lb) + rank.spatial_part(spatial_lb)
+            heap.push((key, seq, _TOP, top))
+            seq += 1
+
+        lm_vector = self.landmarks.vector
+        while heap:
+            key, _, kind, payload = heap.pop()
+            if key >= buffer.fk:
+                break
+            if kind == _TOP:
+                for leaf, summary, bbox in index.children(payload):
+                    social_lb = (
+                        social_lower_bound(query_vector, summary.m_check, summary.m_hat)
+                        if use_summaries
+                        else 0.0
+                    )
+                    spatial_lb = (
+                        index.spatial_mindist(bbox, leaf, False, qx, qy)
+                        if rank.needs_spatial
+                        else 0.0
+                    )
+                    child_key = rank.social_part(social_lb) + rank.spatial_part(spatial_lb)
+                    heap.push((child_key, seq, _LEAF, leaf))
+                    seq += 1
+            elif kind == _LEAF:
+                for user in index.users_in(payload):
+                    if user == query_user:
+                        continue
+                    d = locations.distance(query_user, user)
+                    lb_p = social_lower_bound_vertex(query_vector, lm_vector(user))
+                    user_key = rank.social_part(lb_p) + rank.spatial_part(d)
+                    if user_key < INF:
+                        heap.push((user_key, seq, _USER, (user, d)))
+                        seq += 1
+            else:
+                user, d = payload
+                if not rank.needs_social:
+                    buffer.offer(user, rank.score(INF, d), INF, d)
+                    continue
+                if variant.delayed_evaluation and engine.known_distance(user) is None:
+                    beta_key = rank.social_part(engine.beta) + rank.spatial_part(d)
+                    if key < beta_key:
+                        heap.push((beta_key, seq, _USER, (user, d)))
+                        seq += 1
+                        stats.reinsertions += 1
+                        continue
+                p = engine.distance(user)
+                stats.evaluations += 1
+                buffer.offer(user, rank.score(p, d), p, d)
+
+        stats.pops_index = heap.pops
+        stats.cache_hits = engine.cache_hits
+        stats.pops_social = engine.reverse_pops + engine.forward_pops
+        if engine.forward is not None:
+            stats.pops_social += engine.forward.heap.pops
+        stats.elapsed = time.perf_counter() - start
+        return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)

@@ -1,0 +1,65 @@
+"""Exact brute-force SSRQ evaluation.
+
+Runs one full Dijkstra from the query vertex and scores every user.
+Quadratic-ish and indifferent to all of the paper's optimisations — the
+ground truth every algorithm is tested against, and the natural
+definition of correctness for SSRQ (Definition 1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+from repro.core.ranking import Normalization, RankingFunction
+from repro.core.result import Neighbor, SSRQResult
+from repro.core.stats import SearchStats
+from repro.graph.socialgraph import SocialGraph
+from repro.graph.traversal import DijkstraIterator
+from repro.spatial.point import LocationTable
+from repro.utils.validation import check_user
+
+INF = math.inf
+
+
+class BruteForceSearch:
+    """Reference SSRQ processor (not part of the paper's method suite)."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        locations: LocationTable,
+        normalization: Normalization,
+    ) -> None:
+        self.graph = graph
+        self.locations = locations
+        self.normalization = normalization
+
+    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+        check_user(query_user, self.graph.n)
+        stats = SearchStats()
+        start = time.perf_counter()
+        rank = RankingFunction(alpha, self.normalization)
+
+        social: dict[int, float] = {}
+        if rank.needs_social:
+            it = DijkstraIterator(self.graph, query_user)
+            social = it.run_to_completion()
+            stats.pops_social = it.heap.pops
+
+        locations = self.locations
+        scored: list[tuple[float, int, float, float]] = []
+        for user in range(self.graph.n):
+            if user == query_user:
+                continue
+            p = social.get(user, INF) if rank.needs_social else INF
+            d = locations.distance(query_user, user) if rank.needs_spatial else INF
+            f = rank.score(p, d)
+            if f != INF:
+                scored.append((f, user, p, d))
+        top = heapq.nsmallest(k, scored)
+        neighbors = [Neighbor(user, f, p, d) for f, user, p, d in top]
+        stats.evaluations = len(scored)
+        stats.elapsed = time.perf_counter() - start
+        return SSRQResult(query_user, k, alpha, neighbors, stats)

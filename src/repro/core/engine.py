@@ -1,0 +1,313 @@
+"""Engine facade: one object owning the data, the indexes, and every
+query algorithm of the paper.
+
+    >>> from repro import GeoSocialEngine, gowalla_like
+    >>> dataset = gowalla_like(n=2000, seed=7)
+    >>> engine = GeoSocialEngine.from_dataset(dataset)
+    >>> result = engine.query(user=42, k=10, alpha=0.3, method="ais")
+    >>> [nb.user for nb in result]          # doctest: +SKIP
+
+Methods (paper names):
+
+================  ====================================================
+``sfa``           Social First Approach (Section 4.1)
+``spa``           Spatial First Approach (Section 4.1)
+``tsa``           Twofold Search, landmark-aided (Section 4.2)
+``tsa-plain``     Twofold Search without landmark pruning
+``tsa-qc``        TSA with Quick Combine probing
+``ais``           Aggregate Index Search, all optimisations (Section 5)
+``ais-minus``     AIS without delayed evaluation (AIS− of Figure 10)
+``ais-bid``       per-evaluation bidirectional search (AIS-BID)
+``ais-nosummary`` ablation: AIS without social summaries
+``sfa-ch`` / ``spa-ch`` / ``tsa-ch``  CH-backed distance module (Fig. 8)
+``ais-cache``     pre-computed social lists + AIS fallback (Fig. 11)
+``bruteforce``    exact reference scan
+================  ====================================================
+
+At the preference endpoints the engine routes degenerate requests the
+way the definitions demand: ``alpha == 0`` is a pure spatial query
+(SFA/TSA variants route to SPA) and ``alpha == 1`` a pure social one
+(SPA/TSA variants route to SFA).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.ais import AggregateIndexSearch, AISVariant
+from repro.core.bruteforce import BruteForceSearch
+from repro.core.graphdist import CHOracle
+from repro.core.precompute import CachedSocialFirst, SocialNeighborCache
+from repro.core.ranking import Normalization
+from repro.core.result import SSRQResult
+from repro.core.sfa import SocialFirstSearch
+from repro.core.spa import SpatialFirstSearch
+from repro.core.tsa import TwofoldSearch
+from repro.graph.ch import ContractionHierarchy
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.index.aggregate import AggregateIndex
+from repro.spatial.grid import UniformGrid
+from repro.spatial.point import LocationTable
+from repro.utils.validation import check_alpha, check_user
+
+METHODS = (
+    "sfa",
+    "spa",
+    "tsa",
+    "tsa-plain",
+    "tsa-qc",
+    "ais",
+    "ais-minus",
+    "ais-bid",
+    "ais-nosummary",
+    "sfa-ch",
+    "spa-ch",
+    "tsa-ch",
+    "ais-cache",
+    "bruteforce",
+)
+
+_ALPHA0_ROUTE = {"sfa": "spa", "tsa": "spa", "tsa-plain": "spa", "tsa-qc": "spa", "sfa-ch": "spa-ch", "tsa-ch": "spa-ch", "ais-cache": "spa"}
+# At alpha == 1 the spatial index is useless *and insufficient*: users
+# without a location are legitimate pure-social answers but are absent
+# from the grid/aggregate index, so every index-based method routes to
+# SFA (whose Dijkstra stream reaches them all).
+_ALPHA1_ROUTE = {
+    "spa": "sfa",
+    "tsa": "sfa",
+    "tsa-plain": "sfa",
+    "tsa-qc": "sfa",
+    "spa-ch": "sfa-ch",
+    "tsa-ch": "sfa-ch",
+    "ais": "sfa",
+    "ais-minus": "sfa",
+    "ais-bid": "sfa",
+    "ais-nosummary": "sfa",
+    "ais-cache": "sfa",
+}
+
+
+class GeoSocialEngine:
+    """Indexes a geo-social dataset and answers SSRQ queries.
+
+    Parameters
+    ----------
+    graph, locations:
+        The social graph and the user location table.
+    num_landmarks:
+        ``M``; the paper fine-tunes it to 8.
+    landmark_strategy:
+        ``"farthest"`` (default), ``"random"`` or ``"degree"``.
+    s:
+        Grid fanout (Table 3 default 10): the aggregate index keeps an
+        ``s x s`` top level over ``s² x s²`` leaves; SPA's single-level
+        grid uses the leaf resolution.
+    normalization:
+        Optional pre-computed :class:`Normalization` (estimated from the
+        data when omitted).
+    default_t:
+        Cached-neighbour list length for ``ais-cache`` (Figure 11's
+        parameter ``t``), overridable per query.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        locations: LocationTable,
+        *,
+        num_landmarks: int = 8,
+        landmark_strategy: str = "farthest",
+        s: int = 10,
+        seed: int = 0,
+        normalization: Normalization | None = None,
+        default_t: int = 500,
+    ) -> None:
+        if len(locations) != graph.n:
+            raise ValueError(
+                f"location table covers {len(locations)} users but the graph "
+                f"has {graph.n} vertices"
+            )
+        self.graph = graph
+        self.locations = locations
+        self.s = s
+        self.default_t = default_t
+        self.landmarks = LandmarkIndex.build(graph, num_landmarks, landmark_strategy, seed)
+        self.normalization = (
+            normalization
+            if normalization is not None
+            else Normalization.estimate(graph, locations, seed=seed)
+        )
+        self.grid = UniformGrid.build(locations, s * s)
+        self.aggregate = AggregateIndex.build(locations, self.landmarks, s)
+        self._searchers: dict[str, object] = {}
+        self._ch: ContractionHierarchy | None = None
+        self._ch_oracle: CHOracle | None = None
+        self._caches: dict[int, SocialNeighborCache] = {}
+
+    @classmethod
+    def from_dataset(cls, dataset, **kwargs) -> "GeoSocialEngine":
+        """Build from any object exposing ``.graph`` and ``.locations``
+        (e.g. :class:`repro.datasets.GeoSocialDataset`)."""
+        return cls(dataset.graph, dataset.locations, **kwargs)
+
+    # -- heavyweight lazily-built components ------------------------------
+
+    @property
+    def contraction_hierarchy(self) -> ContractionHierarchy:
+        """The CH preprocessing (built on first use; required only by
+        the ``*-ch`` methods)."""
+        if self._ch is None:
+            self._ch = ContractionHierarchy.build(self.graph)
+        return self._ch
+
+    def _oracle(self) -> CHOracle:
+        if self._ch_oracle is None:
+            self._ch_oracle = CHOracle(self.contraction_hierarchy)
+        return self._ch_oracle
+
+    def neighbor_cache(self, t: int) -> SocialNeighborCache:
+        """The ``t``-nearest social neighbour cache (Figure 11)."""
+        cache = self._caches.get(t)
+        if cache is None:
+            cache = SocialNeighborCache(self.graph, t)
+            self._caches[t] = cache
+        return cache
+
+    # -- query dispatch -----------------------------------------------------
+
+    def searcher(self, method: str, t: int | None = None):
+        """The query-processor object behind ``method`` (cached)."""
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        if method == "ais-cache":
+            t = t if t is not None else self.default_t
+            key = f"ais-cache:{t}"
+            searcher = self._searchers.get(key)
+            if searcher is None:
+                searcher = CachedSocialFirst(
+                    self.graph,
+                    self.locations,
+                    self.normalization,
+                    self.neighbor_cache(t),
+                    self._make_ais(AISVariant.full()),
+                )
+                self._searchers[key] = searcher
+            return searcher
+        searcher = self._searchers.get(method)
+        if searcher is None:
+            searcher = self._build_searcher(method)
+            self._searchers[method] = searcher
+        return searcher
+
+    def _make_ais(self, variant: AISVariant) -> AggregateIndexSearch:
+        return AggregateIndexSearch(
+            self.graph,
+            self.locations,
+            self.landmarks,
+            self.aggregate,
+            self.normalization,
+            variant,
+        )
+
+    def _build_searcher(self, method: str):
+        graph, locations, norm = self.graph, self.locations, self.normalization
+        if method == "sfa":
+            return SocialFirstSearch(graph, locations, norm)
+        if method == "spa":
+            return SpatialFirstSearch(graph, locations, self.grid, norm)
+        if method == "tsa":
+            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=self.landmarks)
+        if method == "tsa-plain":
+            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=None)
+        if method == "tsa-qc":
+            return TwofoldSearch(
+                graph, locations, self.grid, norm,
+                landmarks=self.landmarks, probe_policy="quick-combine",
+            )
+        if method == "ais":
+            return self._make_ais(AISVariant.full())
+        if method == "ais-minus":
+            return self._make_ais(AISVariant.minus())
+        if method == "ais-bid":
+            return self._make_ais(AISVariant.bid())
+        if method == "ais-nosummary":
+            return self._make_ais(AISVariant.no_summaries())
+        if method == "sfa-ch":
+            return SocialFirstSearch(graph, locations, norm, point_to_point=self._oracle())
+        if method == "spa-ch":
+            return SpatialFirstSearch(graph, locations, self.grid, norm, point_to_point=self._oracle())
+        if method == "tsa-ch":
+            return TwofoldSearch(
+                graph, locations, self.grid, norm,
+                landmarks=self.landmarks, point_to_point=self._oracle(),
+            )
+        if method == "bruteforce":
+            return BruteForceSearch(graph, locations, norm)
+        raise AssertionError(f"unhandled method {method!r}")
+
+    def query(
+        self,
+        user: int,
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> SSRQResult:
+        """Answer one SSRQ: the top-``k`` users by
+        ``f = α·p/P_max + (1−α)·d/D_max`` around ``user``."""
+        check_user(user, self.graph.n)
+        check_alpha(alpha)
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        if alpha == 0.0:
+            method = _ALPHA0_ROUTE.get(method, method)
+        elif alpha == 1.0:
+            method = _ALPHA1_ROUTE.get(method, method)
+        return self.searcher(method, t=t).search(user, k, alpha)
+
+    def batch_query(
+        self,
+        users: Iterable[int],
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> list[SSRQResult]:
+        """Run the same query for several users (benchmark workloads)."""
+        return [self.query(u, k, alpha, method, t=t) for u in users]
+
+    # -- dynamic locations -----------------------------------------------
+
+    def move_user(self, user: int, x: float, y: float) -> None:
+        """Process a location update: refresh the location table, SPA's
+        grid, and the aggregate index (with summary maintenance)."""
+        check_user(user, self.graph.n)
+        had_location = self.locations.has_location(user)
+        self.locations.set(user, x, y)
+        if had_location:
+            self.grid.move(user, x, y)
+            self.aggregate.move_user(user, x, y)
+        else:
+            self.grid.insert(user, x, y)
+            self.aggregate.insert_user(user, x, y)
+
+    def forget_location(self, user: int) -> None:
+        """Mark a user's location as unknown and de-index them."""
+        check_user(user, self.graph.n)
+        if not self.locations.has_location(user):
+            return
+        self.locations.clear(user)
+        self.grid.remove(user)
+        self.aggregate.remove_user(user)
+
+    # -- introspection ----------------------------------------------------
+
+    def located_users(self) -> Sequence[int]:
+        return list(self.locations.located_users())
+
+    def __repr__(self) -> str:
+        return (
+            f"GeoSocialEngine(n={self.graph.n}, edges={self.graph.num_edges}, "
+            f"located={self.locations.n_located}, M={self.landmarks.m}, s={self.s})"
+        )

@@ -1,0 +1,79 @@
+"""Point-to-point distance oracles pluggable into SFA/SPA/TSA.
+
+The paper's Figure 8 compares the vanilla methods (whose social-distance
+module is an incremental shared Dijkstra) against variants whose
+distance module is replaced by Contraction Hierarchies (SFA-CH, SPA-CH,
+TSA-CH).  An oracle exposes::
+
+    distance(source, target) -> float   # exact graph distance
+    pops                                 # cumulative heap pops
+
+Algorithms snapshot ``pops`` around a query to attribute costs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ch import ContractionHierarchy
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.utils.heaps import MinHeap
+
+
+class CHOracle:
+    """Contraction-Hierarchies-backed oracle (the paper's "CH").
+
+    SSRQ evaluation asks for many targets from the *same* source (the
+    query vertex), so the oracle materialises the source's forward CH
+    search space once and answers each target with a pruned backward
+    search only.
+    """
+
+    __slots__ = ("ch", "_heap", "_source", "_forward")
+
+    def __init__(self, ch: ContractionHierarchy) -> None:
+        self.ch = ch
+        self._heap = MinHeap()
+        self._source: int | None = None
+        self._forward: dict[int, float] | None = None
+
+    def distance(self, source: int, target: int) -> float:
+        if source != self._source:
+            self._source = source
+            self._forward = self.ch.upward_distances(source, self._heap)
+        return self.ch.distance_from(self._forward, source, target, self._heap)
+
+    @property
+    def pops(self) -> int:
+        return self._heap.pops
+
+
+class ALTOracle:
+    """Unidirectional landmark-A* oracle (ablation comparator: how does
+    plain ALT fare where the paper uses CH?)."""
+
+    __slots__ = ("graph", "landmarks", "_pops")
+
+    def __init__(self, graph: SocialGraph, landmarks: LandmarkIndex) -> None:
+        self.graph = graph
+        self.landmarks = landmarks
+        self._pops = 0
+
+    def distance(self, source: int, target: int) -> float:
+        from repro.graph.astar import AStarSearch
+
+        if source == target:
+            return 0.0
+        h = self.landmarks.heuristic_to(target)
+        search = AStarSearch(self.graph, source, h)
+        while True:
+            item = search.next()
+            if item is None:
+                self._pops += search.heap.pops
+                return float("inf")
+            if item[0] == target:
+                self._pops += search.heap.pops
+                return item[1]
+
+    @property
+    def pops(self) -> int:
+        return self._pops

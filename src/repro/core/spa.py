@@ -1,0 +1,101 @@
+"""Spatial First Approach — SPA (paper Section 4.1).
+
+Retrieve users in increasing Euclidean distance from ``u_q`` with an
+incremental grid-based NN search; compute each one's social distance;
+stop when ``θ = (1 − α) · d(u_q, u_last) ≥ f_k``.
+
+Social distances are produced by one *shared* incremental Dijkstra from
+``v_q`` that is advanced just far enough to settle each candidate — the
+"shortest paths all have v_q as source, thus essentially sharing
+computations" behaviour the paper credits vanilla SPA with.  The
+``point_to_point`` oracle (SPA-CH) replaces that module with a fresh
+point-to-point query per candidate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.ranking import Normalization, RankingFunction
+from repro.core.result import SSRQResult, TopKBuffer
+from repro.core.stats import SearchStats
+from repro.graph.socialgraph import SocialGraph
+from repro.graph.traversal import DijkstraIterator
+from repro.spatial.grid import UniformGrid
+from repro.spatial.nn import IncrementalNearestNeighbors
+from repro.spatial.point import LocationTable
+from repro.utils.validation import check_user
+
+INF = math.inf
+
+
+class SpatialFirstSearch:
+    """SPA query processor."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        locations: LocationTable,
+        grid: UniformGrid,
+        normalization: Normalization,
+        point_to_point=None,
+    ) -> None:
+        self.graph = graph
+        self.locations = locations
+        self.grid = grid
+        self.normalization = normalization
+        self.point_to_point = point_to_point
+
+    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+        check_user(query_user, self.graph.n)
+        stats = SearchStats()
+        start = time.perf_counter()
+        rank = RankingFunction(alpha, self.normalization)
+        if not rank.needs_spatial:
+            raise ValueError(
+                "SPA requires alpha < 1: with alpha == 1 its spatial bound "
+                "never grows; use SFA (the engine routes this automatically)"
+            )
+        location = self.locations.get(query_user)
+        if location is None:
+            raise ValueError(
+                f"query user {query_user} has no known location; spatial-first "
+                "search is undefined (paper assumes located query users)"
+            )
+        qx, qy = location
+
+        buffer = TopKBuffer(k)
+        nn = IncrementalNearestNeighbors(self.grid, self.locations, qx, qy, exclude=query_user)
+        oracle = self.point_to_point
+        oracle_pops_before = oracle.pops if oracle is not None else 0
+        social = None
+        if rank.needs_social and oracle is None:
+            social = DijkstraIterator(self.graph, query_user)
+
+        while True:
+            item = nn.next()
+            if item is None:
+                break  # all located users scored; the rest are at d = inf
+            u, d = item
+            if rank.needs_social:
+                if oracle is not None:
+                    p = oracle.distance(query_user, u)
+                    stats.evaluations += 1
+                else:
+                    p = social.run_until(u)
+                    stats.evaluations += 1
+            else:
+                p = INF
+            buffer.offer(u, rank.score(p, d), p, d)
+            theta = rank.spatial_part(d)
+            if theta >= buffer.fk:
+                break
+
+        stats.pops_spatial = nn.heap.pops
+        if social is not None:
+            stats.pops_social = social.heap.pops
+        if oracle is not None:
+            stats.pops_social += oracle.pops - oracle_pops_before
+        stats.elapsed = time.perf_counter() - start
+        return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)

@@ -1,0 +1,67 @@
+"""Dataset substrate: synthetic geo-social networks and file loaders.
+
+The paper evaluates on Gowalla (196K users), Foursquare (1.88M) and a
+Singapore Twitter crawl (124K, average degree 57.7) — none of which is
+redistributable here.  This package builds *calibrated synthetic
+stand-ins*: power-law social graphs with matching average degree,
+degree-product edge weights (the paper's weighting, Section 6),
+clustered check-in-style locations with matching coverage ratios, plus
+the Forest-Fire sampler and the correlation-controlled location
+generators used by Figure 14.  Loaders for SNAP edge lists and
+Gowalla-format check-in files let users plug in the real data when they
+have it.
+"""
+
+from repro.datasets.forest_fire import forest_fire_sample
+from repro.datasets.generators import (
+    barabasi_albert_edges,
+    erdos_renyi_edges,
+    watts_strogatz_edges,
+)
+from repro.datasets.loaders import (
+    load_checkins,
+    load_edge_list,
+    save_checkins,
+    save_edge_list,
+)
+from repro.datasets.locations import (
+    apply_coverage,
+    clustered_locations,
+    correlated_locations,
+    permuted_locations,
+    uniform_locations,
+)
+from repro.datasets.synthetic import (
+    GeoSocialDataset,
+    build_dataset,
+    correlated_dataset,
+    forest_fire_series,
+    foursquare_like,
+    gowalla_like,
+    twitter_like,
+)
+from repro.datasets.weights import degree_product_weights
+
+__all__ = [
+    "barabasi_albert_edges",
+    "watts_strogatz_edges",
+    "erdos_renyi_edges",
+    "degree_product_weights",
+    "clustered_locations",
+    "uniform_locations",
+    "apply_coverage",
+    "correlated_locations",
+    "permuted_locations",
+    "forest_fire_sample",
+    "load_edge_list",
+    "save_edge_list",
+    "load_checkins",
+    "save_checkins",
+    "GeoSocialDataset",
+    "build_dataset",
+    "gowalla_like",
+    "foursquare_like",
+    "twitter_like",
+    "correlated_dataset",
+    "forest_fire_series",
+]

@@ -1,0 +1,92 @@
+"""Text-format loaders for real geo-social data.
+
+Two formats cover the paper's sources:
+
+- **SNAP edge lists** (``u<TAB>v`` per line, ``#`` comments) — the
+  format of the public Gowalla friendship graph;
+- **check-in files** (``user<TAB>timestamp<TAB>lat<TAB>lon<TAB>venue``)
+  — the paper assigns each user *the location with the highest
+  frequency of visits* among their check-ins, which
+  :func:`load_checkins` reproduces.
+
+Writers exist so tests and examples can round-trip small files.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.spatial.point import LocationTable
+
+
+def load_edge_list(path: str | Path) -> tuple[int, list[tuple[int, int]]]:
+    """Read a SNAP-style undirected edge list.
+
+    Returns ``(n, edges)`` where ``n`` is one more than the largest
+    vertex id seen and edges are deduplicated with ``u < v``.
+    """
+    edges: set[tuple[int, int]] = set()
+    max_id = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            edges.add((u, v))
+            if v > max_id:
+                max_id = v
+    return max_id + 1, sorted(edges)
+
+
+def save_edge_list(path: str | Path, edges: Iterable[tuple[int, int]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# u\tv\n")
+        for u, v in edges:
+            handle.write(f"{u}\t{v}\n")
+
+
+def load_checkins(path: str | Path, n: int) -> LocationTable:
+    """Read a Gowalla-format check-in file and assign each user their
+    most frequently visited location (ties: the lexicographically
+    smallest coordinate pair, for determinism)."""
+    visits: dict[int, Counter] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 4:
+                raise ValueError(f"malformed check-in line: {line!r}")
+            user = int(parts[0])
+            lat, lon = float(parts[2]), float(parts[3])
+            if user >= n or user < 0:
+                continue
+            visits.setdefault(user, Counter())[(lat, lon)] += 1
+    table = LocationTable.empty(n)
+    for user, counter in visits.items():
+        (lat, lon), _ = min(
+            counter.items(), key=lambda item: (-item[1], item[0])
+        )
+        # Store as (x, y) = (lon, lat): x east, y north.
+        table.set(user, lon, lat)
+    return table
+
+
+def save_checkins(
+    path: str | Path, checkins: Iterable[tuple[int, str, float, float, int]]
+) -> None:
+    """Write ``(user, timestamp, lat, lon, venue)`` rows."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for user, ts, lat, lon, venue in checkins:
+            handle.write(f"{user}\t{ts}\t{lat}\t{lon}\t{venue}\n")

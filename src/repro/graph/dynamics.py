@@ -1,0 +1,174 @@
+"""Incremental landmark-table maintenance under edge updates.
+
+Section 5.1 of the paper notes that updates to the social graph ``G``
+are far rarer than location updates and can be absorbed by *batching in
+conjunction with dynamic shortest path algorithms, so that landmark
+information can be incrementally maintained* (its references [38, 39]).
+This module implements that maintenance: each landmark's distance row is
+a shortest-path tree, repaired in place when an edge is inserted,
+deleted, or re-weighted.
+
+- **Decrease / insertion** — ripple relaxation: seed a Dijkstra from the
+  endpoints whose distance improved.
+- **Increase / deletion** — two phases: (1) collect the (conservative)
+  affected region by walking shortest-path-DAG descendants of the
+  changed edge; (2) reset it and re-relax from its non-affected
+  boundary.
+
+Both repairs touch work proportional to the affected region, not the
+whole graph, and are property-tested against full recomputation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+
+INF = math.inf
+
+
+def _ripple_decrease(adj: list[dict[int, float]], dist: list[float], seeds: list[int]) -> int:
+    """Propagate distance decreases outward from ``seeds``; returns the
+    number of vertices whose distance changed."""
+    heap = [(dist[s], s) for s in seeds]
+    heapq.heapify(heap)
+    changed = 0
+    while heap:
+        d, x = heapq.heappop(heap)
+        if d > dist[x]:
+            continue  # stale
+        for y, w in adj[x].items():
+            nd = d + w
+            if nd < dist[y]:
+                dist[y] = nd
+                changed += 1
+                heapq.heappush(heap, (nd, y))
+    return changed
+
+
+def _collect_affected(
+    adj: list[dict[int, float]], dist: list[float], roots: list[int]
+) -> set[int]:
+    """Vertices whose shortest path may have used the removed/worsened
+    edge: SP-DAG descendants of ``roots`` (conservative — equal-length
+    alternative paths are re-verified rather than analysed)."""
+    affected = set(roots)
+    queue = deque(roots)
+    while queue:
+        x = queue.popleft()
+        dx = dist[x]
+        for y, w in adj[x].items():
+            if y not in affected and dist[y] == dx + w:
+                affected.add(y)
+                queue.append(y)
+    return affected
+
+
+def _repair_increase(adj: list[dict[int, float]], dist: list[float], affected: set[int]) -> None:
+    """Recompute distances inside ``affected`` from its boundary."""
+    heap = []
+    for y in affected:
+        best = INF
+        for x, w in adj[y].items():
+            if x not in affected:
+                d = dist[x] + w
+                if d < best:
+                    best = d
+        dist[y] = best
+        if best != INF:
+            heap.append((best, y))
+    heapq.heapify(heap)
+    settled: set[int] = set()
+    while heap:
+        d, x = heapq.heappop(heap)
+        if x in settled or d > dist[x]:
+            continue
+        settled.add(x)
+        for y, w in adj[x].items():
+            if y in affected and y not in settled:
+                nd = d + w
+                if nd < dist[y]:
+                    dist[y] = nd
+                    heapq.heappush(heap, (nd, y))
+
+
+class DynamicLandmarkTables:
+    """Mutable companion to a :class:`LandmarkIndex`.
+
+    Holds an adjacency-dict copy of the (undirected) graph and repairs
+    every landmark row on each :meth:`update_edge` call.  A rebuilt CSR
+    snapshot of the current topology is available via :meth:`snapshot`.
+    """
+
+    def __init__(self, graph: SocialGraph, landmarks: LandmarkIndex) -> None:
+        if graph.directed:
+            raise NotImplementedError("dynamic maintenance implemented for undirected graphs")
+        self.adj = graph.to_adjacency()
+        self.n = graph.n
+        self.landmarks = landmarks
+        self.updates_applied = 0
+
+    def update_edge(self, u: int, v: int, weight: float | None) -> None:
+        """Insert, re-weight (``weight`` > 0) or delete (``weight is
+        None``) the undirected edge ``(u, v)`` and repair all tables."""
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if weight is not None and weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        old = self.adj[u].get(v)
+        if weight is None and old is None:
+            raise KeyError(f"edge ({u}, {v}) does not exist")
+
+        if weight is not None and (old is None or weight < old):
+            self._apply_decrease(u, v, weight)
+        elif weight is not None and weight > old:
+            self._apply_increase(u, v, weight)
+        elif weight is None:
+            self._apply_increase(u, v, None)
+        # weight == old: no-op
+        self.updates_applied += 1
+
+    def _apply_decrease(self, u: int, v: int, weight: float) -> None:
+        self.adj[u][v] = weight
+        self.adj[v][u] = weight
+        for dist in self.landmarks.dist:
+            seeds = []
+            if dist[u] + weight < dist[v]:
+                dist[v] = dist[u] + weight
+                seeds.append(v)
+            if dist[v] + weight < dist[u]:
+                dist[u] = dist[v] + weight
+                seeds.append(u)
+            if seeds:
+                _ripple_decrease(self.adj, dist, seeds)
+
+    def _apply_increase(self, u: int, v: int, weight: float | None) -> None:
+        old = self.adj[u][v]
+        # Determine, per landmark, which endpoint's tree may break.
+        roots_per_row: list[list[int]] = []
+        for dist in self.landmarks.dist:
+            roots = []
+            if dist[v] == dist[u] + old:
+                roots.append(v)
+            if dist[u] == dist[v] + old:
+                roots.append(u)
+            roots_per_row.append(roots)
+        if weight is None:
+            del self.adj[u][v]
+            del self.adj[v][u]
+        else:
+            self.adj[u][v] = weight
+            self.adj[v][u] = weight
+        for dist, roots in zip(self.landmarks.dist, roots_per_row):
+            if not roots:
+                continue
+            affected = _collect_affected(self.adj, dist, roots)
+            _repair_increase(self.adj, dist, affected)
+
+    def snapshot(self) -> SocialGraph:
+        """CSR graph reflecting every update applied so far."""
+        return SocialGraph.from_adjacency(self.adj, directed=False)

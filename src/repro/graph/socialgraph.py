@@ -1,0 +1,232 @@
+"""Weighted social graph in compressed sparse row (CSR) form.
+
+The paper's setting (Section 3): an undirected graph ``G = (V, E)`` with
+one vertex per user and positive edge weights encoding friendship
+strength (smaller weight = stronger tie).  The work "extends to directed
+graphs easily", and so does this class.
+
+CSR keeps the three flat arrays ``indptr``, ``nbrs`` and ``wts``; the
+out-neighbourhood of vertex ``v`` is
+``nbrs[indptr[v]:indptr[v+1]]`` / ``wts[indptr[v]:indptr[v+1]]``.
+Flat Python lists are the fastest random-access container available to
+pure-Python Dijkstra loops, which dominate every algorithm's cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+
+class SocialGraph:
+    """Immutable weighted graph over vertices ``0..n-1``.
+
+    Parallel edges are collapsed to the smallest weight at construction;
+    self-loops are rejected (they can never appear on a shortest path
+    with positive weights and the paper's friendship semantics exclude
+    them).
+    """
+
+    __slots__ = ("n", "indptr", "nbrs", "wts", "directed", "_num_edges", "_reverse")
+
+    def __init__(
+        self,
+        n: int,
+        indptr: list[int],
+        nbrs: list[int],
+        wts: list[float],
+        directed: bool = False,
+        _num_edges: int | None = None,
+    ) -> None:
+        if len(indptr) != n + 1:
+            raise ValueError("indptr must have length n + 1")
+        if len(nbrs) != len(wts):
+            raise ValueError("nbrs and wts must have equal length")
+        self.n = n
+        self.indptr = indptr
+        self.nbrs = nbrs
+        self.wts = wts
+        self.directed = directed
+        if _num_edges is None:
+            _num_edges = len(nbrs) if directed else len(nbrs) // 2
+        self._num_edges = _num_edges
+        self._reverse: "SocialGraph | None" = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int, float]],
+        directed: bool = False,
+    ) -> "SocialGraph":
+        """Build from ``(u, v, weight)`` triples.
+
+        For undirected graphs each input edge is stored in both
+        directions.  Duplicate edges keep the minimum weight.
+        """
+        best: dict[tuple[int, int], float] = {}
+        for u, v, w in edges:
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u}")
+            if not 0 <= u < n or not 0 <= v < n:
+                raise ValueError(f"edge ({u}, {v}) out of range [0, {n})")
+            if w <= 0 or not math.isfinite(w):
+                raise ValueError(f"edge ({u}, {v}) has non-positive weight {w}")
+            if not directed and u > v:
+                u, v = v, u
+            key = (u, v)
+            old = best.get(key)
+            if old is None or w < old:
+                best[key] = w
+
+        counts = [0] * (n + 1)
+        for u, v in best:
+            counts[u + 1] += 1
+            if not directed:
+                counts[v + 1] += 1
+        indptr = counts
+        for i in range(1, n + 1):
+            indptr[i] += indptr[i - 1]
+        m = indptr[n]
+        nbrs = [0] * m
+        wts = [0.0] * m
+        cursor = list(indptr[:n])
+        for (u, v), w in best.items():
+            nbrs[cursor[u]] = v
+            wts[cursor[u]] = w
+            cursor[u] += 1
+            if not directed:
+                nbrs[cursor[v]] = u
+                wts[cursor[v]] = w
+                cursor[v] += 1
+        return cls(n, indptr, nbrs, wts, directed, _num_edges=len(best))
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Sequence[dict[int, float]], directed: bool = False
+    ) -> "SocialGraph":
+        """Build from a list of ``{neighbor: weight}`` dicts."""
+        n = len(adjacency)
+        edges = []
+        for u, nbrs in enumerate(adjacency):
+            for v, w in nbrs.items():
+                if directed or u < v:
+                    edges.append((u, v, w))
+                elif v not in range(n) or u not in adjacency[v]:
+                    raise ValueError(f"undirected adjacency asymmetric at ({u}, {v})")
+        return cls.from_edges(n, edges, directed)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        """Out-degree of ``v`` (== degree for undirected graphs)."""
+        return self.indptr[v + 1] - self.indptr[v]
+
+    @property
+    def average_degree(self) -> float:
+        if self.n == 0:
+            return 0.0
+        return len(self.nbrs) / self.n if self.directed else 2.0 * self._num_edges / self.n
+
+    @property
+    def max_degree(self) -> int:
+        return max((self.degree(v) for v in range(self.n)), default=0)
+
+    def neighbors(self, v: int) -> Iterator[tuple[int, float]]:
+        """Iterate ``(neighbor, weight)`` pairs of ``v``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return zip(self.nbrs[lo:hi], self.wts[lo:hi])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        return v in self.nbrs[lo:hi]
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        for i in range(lo, hi):
+            if self.nbrs[i] == v:
+                return self.wts[i]
+        return None
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate every edge once (``u <= v`` for undirected graphs)."""
+        for u in range(self.n):
+            lo, hi = self.indptr[u], self.indptr[u + 1]
+            for i in range(lo, hi):
+                v = self.nbrs[i]
+                if self.directed or u < v:
+                    yield u, v, self.wts[i]
+
+    def reverse(self) -> "SocialGraph":
+        """Graph with every edge reversed (cached; self for undirected)."""
+        if not self.directed:
+            return self
+        if self._reverse is None:
+            rev_edges = ((v, u, w) for u, v, w in self.edges())
+            self._reverse = SocialGraph.from_edges(self.n, rev_edges, directed=True)
+        return self._reverse
+
+    # -- derived structures ------------------------------------------------
+
+    def to_adjacency(self) -> list[dict[int, float]]:
+        """Mutable adjacency-dict view (used by CH construction and the
+        dynamic-update machinery)."""
+        adj: list[dict[int, float]] = [{} for _ in range(self.n)]
+        for u in range(self.n):
+            lo, hi = self.indptr[u], self.indptr[u + 1]
+            for i in range(lo, hi):
+                adj[u][self.nbrs[i]] = self.wts[i]
+        return adj
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["SocialGraph", dict[int, int]]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the new graph (vertices relabelled ``0..len-1``) and the
+        old-id -> new-id mapping.  Used by Forest-Fire sampling (Fig 14b).
+        """
+        mapping = {old: new for new, old in enumerate(vertices)}
+        edges = []
+        for old_u in vertices:
+            new_u = mapping[old_u]
+            lo, hi = self.indptr[old_u], self.indptr[old_u + 1]
+            for i in range(lo, hi):
+                old_v = self.nbrs[i]
+                new_v = mapping.get(old_v)
+                if new_v is None:
+                    continue
+                if self.directed or new_u < new_v:
+                    edges.append((new_u, new_v, self.wts[i]))
+        return SocialGraph.from_edges(len(vertices), edges, self.directed), mapping
+
+    def with_edge_update(
+        self, u: int, v: int, weight: float | None
+    ) -> "SocialGraph":
+        """Copy of the graph with edge ``(u, v)`` set to ``weight`` (new
+        or changed) or removed (``weight is None``)."""
+        edges = []
+        seen = False
+        for a, b, w in self.edges():
+            if self.directed:
+                matches = (a, b) == (u, v)
+            else:
+                matches = {a, b} == {u, v}
+            if matches:
+                seen = True
+                if weight is not None:
+                    edges.append((a, b, weight))
+            else:
+                edges.append((a, b, w))
+        if weight is not None and not seen:
+            edges.append((u, v, weight))
+        return SocialGraph.from_edges(self.n, edges, self.directed)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"SocialGraph(n={self.n}, edges={self._num_edges}, {kind})"

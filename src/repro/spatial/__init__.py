@@ -1,0 +1,31 @@
+"""Spatial substrate: points, bounding boxes, grid indexes, NN search.
+
+The paper keeps user locations in a main-memory regular grid and
+retrieves nearest neighbours with a branch-and-bound incremental search
+(the combination recommended for dynamic in-memory spatial data, its
+reference [35]).  This package provides:
+
+- :mod:`repro.spatial.point` — Euclidean geometry, bounding boxes, and
+  the :class:`~repro.spatial.point.LocationTable` storing (possibly
+  missing) user locations;
+- :mod:`repro.spatial.grid` — a single-level uniform grid with O(1)
+  location updates;
+- :mod:`repro.spatial.nn` — incremental (distance-ordered) nearest
+  neighbour search over the grid;
+- :mod:`repro.spatial.multigrid` — the multi-level grid underlying the
+  paper's aggregate index (Section 5.1).
+"""
+
+from repro.spatial.grid import UniformGrid
+from repro.spatial.multigrid import MultiLevelGrid
+from repro.spatial.nn import IncrementalNearestNeighbors
+from repro.spatial.point import BBox, LocationTable, euclidean
+
+__all__ = [
+    "BBox",
+    "LocationTable",
+    "euclidean",
+    "UniformGrid",
+    "MultiLevelGrid",
+    "IncrementalNearestNeighbors",
+]

@@ -1,0 +1,199 @@
+"""Euclidean geometry primitives and the user location table.
+
+Locations live in a flat 2-D Euclidean space.  Following the paper
+(Section 6, footnote 3), some users have *no known location* and are
+treated as infinitely far away from everybody; :class:`LocationTable`
+encodes a missing location as ``NaN`` coordinates and reports ``inf``
+distances for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+INF = math.inf
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between points ``(ax, ay)`` and ``(bx, by)``."""
+    return math.hypot(ax - bx, ay - by)
+
+
+@dataclass(frozen=True)
+class BBox:
+    """Axis-aligned bounding rectangle ``[minx, maxx] x [miny, maxy]``."""
+
+    minx: float
+    miny: float
+    maxx: float
+    maxy: float
+
+    def __post_init__(self) -> None:
+        if self.maxx < self.minx or self.maxy < self.miny:
+            raise ValueError(f"degenerate bbox {self!r}")
+
+    @property
+    def width(self) -> float:
+        return self.maxx - self.minx
+
+    @property
+    def height(self) -> float:
+        return self.maxy - self.miny
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal — the maximum pairwise distance of
+        any two points inside the box (used as the spatial normaliser
+        ``D_max``)."""
+        return math.hypot(self.width, self.height)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.minx <= x <= self.maxx and self.miny <= y <= self.maxy
+
+    def mindist(self, x: float, y: float) -> float:
+        """Minimum Euclidean distance from ``(x, y)`` to any point of the
+        box (0 when the point lies inside) — the bound ``ď(u_q, C)`` of
+        the paper's Section 5.1."""
+        dx = max(self.minx - x, 0.0, x - self.maxx)
+        dy = max(self.miny - y, 0.0, y - self.maxy)
+        if dx == 0.0 and dy == 0.0:
+            return 0.0
+        return math.hypot(dx, dy)
+
+    def maxdist(self, x: float, y: float) -> float:
+        """Maximum Euclidean distance from ``(x, y)`` to any point of the
+        box (distance to the farthest corner)."""
+        dx = max(x - self.minx, self.maxx - x)
+        dy = max(y - self.miny, self.maxy - y)
+        return math.hypot(dx, dy)
+
+    @staticmethod
+    def of_points(points: Iterable[tuple[float, float]]) -> "BBox":
+        """Tight bounding box of a non-empty point collection."""
+        it = iter(points)
+        try:
+            x0, y0 = next(it)
+        except StopIteration:
+            raise ValueError("cannot compute bbox of an empty collection") from None
+        minx = maxx = x0
+        miny = maxy = y0
+        for x, y in it:
+            if x < minx:
+                minx = x
+            elif x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            elif y > maxy:
+                maxy = y
+        return BBox(minx, miny, maxx, maxy)
+
+
+class LocationTable:
+    """Current (last reported) locations for ``n`` users.
+
+    Coordinates are stored in two flat lists indexed by user id; a
+    missing location is a ``NaN`` pair.  The table is mutable —
+    :meth:`move` supports the dynamic-location setting of the paper —
+    and cheap to snapshot.
+    """
+
+    __slots__ = ("xs", "ys", "_n_located")
+
+    def __init__(self, xs: list[float], ys: list[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        self.xs = list(xs)
+        self.ys = list(ys)
+        self._n_located = sum(1 for x in self.xs if x == x)  # NaN != NaN
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def empty(cls, n: int) -> "LocationTable":
+        nan = math.nan
+        return cls([nan] * n, [nan] * n)
+
+    @classmethod
+    def from_dict(cls, n: int, locations: dict[int, tuple[float, float]]) -> "LocationTable":
+        table = cls.empty(n)
+        for user, (x, y) in locations.items():
+            table.set(user, x, y)
+        return table
+
+    # -- basic accessors ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @property
+    def n_located(self) -> int:
+        """Number of users with a known location."""
+        return self._n_located
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of users with a known location."""
+        return self._n_located / len(self.xs) if self.xs else 0.0
+
+    def has_location(self, user: int) -> bool:
+        x = self.xs[user]
+        return x == x
+
+    def get(self, user: int) -> tuple[float, float] | None:
+        x = self.xs[user]
+        if x != x:
+            return None
+        return (x, self.ys[user])
+
+    def located_users(self) -> Iterator[int]:
+        """Ids of users with a known location, in id order."""
+        for user, x in enumerate(self.xs):
+            if x == x:
+                yield user
+
+    # -- geometry ------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between users ``u`` and ``v``; ``inf`` if
+        either location is unknown."""
+        ux = self.xs[u]
+        vx = self.xs[v]
+        if ux != ux or vx != vx:
+            return INF
+        return math.hypot(ux - vx, self.ys[u] - self.ys[v])
+
+    def distance_to(self, u: int, x: float, y: float) -> float:
+        """Distance from user ``u`` to an explicit point."""
+        ux = self.xs[u]
+        if ux != ux:
+            return INF
+        return math.hypot(ux - x, self.ys[u] - y)
+
+    def bbox(self) -> BBox:
+        """Bounding box of all known locations."""
+        pts = ((self.xs[u], self.ys[u]) for u in self.located_users())
+        return BBox.of_points(pts)
+
+    # -- mutation ------------------------------------------------------
+
+    def set(self, user: int, x: float, y: float) -> None:
+        """Set/overwrite the location of ``user``."""
+        if x != x or y != y:
+            raise ValueError("use clear() to remove a location, not NaN")
+        if not self.has_location(user):
+            self._n_located += 1
+        self.xs[user] = x
+        self.ys[user] = y
+
+    def clear(self, user: int) -> None:
+        """Forget the location of ``user``."""
+        if self.has_location(user):
+            self._n_located -= 1
+        self.xs[user] = math.nan
+        self.ys[user] = math.nan
+
+    def copy(self) -> "LocationTable":
+        return LocationTable(self.xs, self.ys)

@@ -1,0 +1,101 @@
+"""No-Random-Access algorithm (NRA), minimisation variant.
+
+Only sorted access is available.  For every encountered tuple the
+algorithm maintains a score interval:
+
+- **lower bound** — unseen attributes replaced by the last value pulled
+  from the corresponding repository (attributes are non-decreasing down
+  the lists);
+- **upper bound** — unseen attributes replaced by the repository's
+  maximum possible value.
+
+It terminates when the k-th smallest upper bound among seen tuples is
+no greater than (a) the lower bound of every other seen tuple and (b)
+the threshold ``τ`` bounding all unseen tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.topk.sources import SortedSource
+
+
+def no_random_access(
+    sources: Sequence[SortedSource],
+    combine: Callable[[Sequence[float]], float],
+    k: int,
+    check_every: int = 1,
+) -> list[tuple[float, int]]:
+    """Top-``k`` ``(score, id)`` pairs, best first, using sorted access
+    only.  Reported scores are exact (a tuple can only win once fully
+    seen or its interval collapses)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    m = len(sources)
+    if m == 0:
+        return []
+    partial: dict[int, list[float | None]] = {}
+    last = [0.0] * m
+    maxes = [s.max_value for s in sources]
+    accesses = 0
+
+    def bounds(values: list[float | None]) -> tuple[float, float]:
+        lower = combine([last[j] if v is None else v for j, v in enumerate(values)])
+        upper = combine([maxes[j] if v is None else v for j, v in enumerate(values)])
+        return lower, upper
+
+    def try_finish() -> list[tuple[float, int]] | None:
+        if len(partial) < k:
+            return None
+        scored = []
+        for i, values in partial.items():
+            lower, upper = bounds(values)
+            scored.append((upper, lower, i))
+        by_upper = sorted(scored, key=lambda t: (t[0], t[2]))
+        kth_upper = by_upper[k - 1][0]
+        # (a) every non-selected candidate's lower bound must rule it out
+        for upper, lower, i in by_upper[k:]:
+            if lower < kth_upper:
+                return None
+        # (b) unseen tuples are bounded by tau
+        tau = combine(last)
+        if tau < kth_upper:
+            return None
+        # (c) winners must be fully seen, so reported scores are exact
+        # (classic NRA may report worst-case grades; we keep probing the
+        # lists — still sorted access only — until the top-k resolve).
+        for _, _, i in by_upper[:k]:
+            if None in partial[i]:
+                return None
+        return [(upper, i) for upper, _, i in by_upper[:k]]
+
+    active = True
+    while active:
+        active = False
+        for j, source in enumerate(sources):
+            item = source.next()
+            if item is None:
+                continue
+            active = True
+            i, value = item
+            last[j] = value
+            row = partial.get(i)
+            if row is None:
+                row = [None] * m
+                partial[i] = row
+            row[j] = value
+            accesses += 1
+            if accesses % check_every == 0:
+                done = try_finish()
+                if done is not None:
+                    return done
+    done = try_finish()
+    if done is not None:
+        return done
+    # Sources exhausted: every tuple is fully known (complete columns);
+    # report the best k of what was seen.
+    scored = sorted(
+        (bounds(values)[1], i) for i, values in partial.items()
+    )
+    return scored[:k]

@@ -1,0 +1,70 @@
+"""Access-path abstractions for the threshold-algorithm family.
+
+A *repository* (paper Section 2.4) supports:
+
+- **sorted access** — iterate ``(id, value)`` pairs in ascending value
+  order ("get-next");
+- **random access** — fetch the value of an arbitrary id directly.
+
+:class:`SortedSource` provides both over an in-memory column and tracks
+access counts, so the TA/NRA/CA cost model (sorted vs random accesses)
+is observable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+
+class SortedSource:
+    """One attribute column with sorted and random access."""
+
+    __slots__ = ("_order", "_values", "_cursor", "sorted_accesses", "random_accesses")
+
+    def __init__(self, values: Mapping[int, float]) -> None:
+        self._values = dict(values)
+        self._order = sorted(self._values, key=lambda i: (self._values[i], i))
+        self._cursor = 0
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "SortedSource":
+        return cls(dict(pairs))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._order)
+
+    @property
+    def last_value(self) -> float:
+        """Value most recently produced by sorted access (0 before the
+        first access — the smallest conceivable attribute value)."""
+        if self._cursor == 0:
+            return 0.0
+        return self._values[self._order[self._cursor - 1]]
+
+    @property
+    def max_value(self) -> float:
+        """Largest value in the column (used for NRA upper bounds)."""
+        if not self._order:
+            return 0.0
+        return self._values[self._order[-1]]
+
+    def next(self) -> tuple[int, float] | None:
+        """Sorted access: the next ``(id, value)``, or ``None``."""
+        if self._cursor >= len(self._order):
+            return None
+        self.sorted_accesses += 1
+        i = self._order[self._cursor]
+        self._cursor += 1
+        return i, self._values[i]
+
+    def get(self, i: int) -> float:
+        """Random access: value of id ``i`` (``inf`` if absent)."""
+        self.random_accesses += 1
+        return self._values.get(i, math.inf)

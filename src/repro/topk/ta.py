@@ -1,0 +1,64 @@
+"""Fagin's Threshold Algorithm (TA), minimisation variant.
+
+Round-robin sorted access over ``m`` repositories; every newly seen
+tuple is completed via random accesses to the other repositories and
+scored exactly.  The threshold ``τ`` — the combine function applied to
+the last value pulled from each list — lower-bounds the score of every
+unseen tuple; the algorithm stops as soon as ``τ`` is no smaller than
+the current k-th best score.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Sequence
+
+from repro.topk.sources import SortedSource
+
+
+def threshold_algorithm(
+    sources: Sequence[SortedSource],
+    combine: Callable[[Sequence[float]], float],
+    k: int,
+) -> list[tuple[float, int]]:
+    """Top-``k`` ``(score, id)`` pairs, best (smallest) first.
+
+    ``combine`` must be monotone increasing in every attribute.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    m = len(sources)
+    if m == 0:
+        return []
+    seen: set[int] = set()
+    # max-heap of the k best scores seen so far (negated keys)
+    best: list[tuple[float, int]] = []
+    last = [0.0] * m
+
+    active = True
+    while active:
+        active = False
+        for j, source in enumerate(sources):
+            item = source.next()
+            if item is None:
+                continue
+            active = True
+            i, value = item
+            last[j] = value
+            if i not in seen:
+                seen.add(i)
+                values = [
+                    value if jj == j else sources[jj].get(i) for jj in range(m)
+                ]
+                score = combine(values)
+                entry = (-score, -i)
+                if len(best) < k:
+                    heapq.heappush(best, entry)
+                elif entry > best[0]:
+                    heapq.heapreplace(best, entry)
+            # Termination check after every sorted access.
+            if len(best) == k:
+                tau = combine(last)
+                if tau >= -best[0][0]:
+                    return sorted((-s, -i) for s, i in best)
+    return sorted((-s, -i) for s, i in best)

@@ -1,0 +1,19 @@
+"""Shared low-level utilities: heaps, RNG helpers, validation."""
+
+from repro.utils.heaps import MinHeap
+from repro.utils.rng import make_rng
+from repro.utils.validation import (
+    check_alpha,
+    check_positive,
+    check_probability,
+    check_user,
+)
+
+__all__ = [
+    "MinHeap",
+    "make_rng",
+    "check_alpha",
+    "check_positive",
+    "check_probability",
+    "check_user",
+]

@@ -1,0 +1,23 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component (generators, workloads, sampling) accepts an
+integer seed and derives an isolated :class:`random.Random` through
+:func:`make_rng`, so experiments are reproducible and independent of
+call order.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` for nondeterministic seeding (discouraged outside
+    exploratory use).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,29 @@
+"""Argument validation helpers shared across the public API."""
+
+from __future__ import annotations
+
+
+def check_alpha(alpha: float) -> float:
+    """Validate the social/spatial preference parameter ``alpha``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha!r}")
+    return float(alpha)
+
+
+def check_positive(name: str, value: float) -> float:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_user(user: int, n: int) -> int:
+    """Validate a user/vertex identifier against population size ``n``."""
+    if not 0 <= user < n:
+        raise ValueError(f"user id {user} out of range [0, {n})")
+    return user

@@ -1,0 +1,113 @@
+"""Tests for the top-k buffer and result containers."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import Neighbor, SSRQResult, TopKBuffer
+from repro.core.stats import SearchStats
+
+INF = math.inf
+
+
+class TestTopKBuffer:
+    def test_fk_infinite_until_full(self):
+        buf = TopKBuffer(2)
+        assert buf.fk == INF
+        buf.offer(1, 0.5, 1.0, 1.0)
+        assert buf.fk == INF
+        buf.offer(2, 0.3, 1.0, 1.0)
+        assert buf.fk == 0.5
+
+    def test_eviction_of_worst(self):
+        buf = TopKBuffer(2)
+        buf.offer(1, 0.5, 0, 0)
+        buf.offer(2, 0.3, 0, 0)
+        assert buf.offer(3, 0.4, 0, 0)
+        assert sorted(nb.user for nb in buf.neighbors()) == [2, 3]
+        assert buf.fk == 0.4
+
+    def test_rejects_worse_than_fk(self):
+        buf = TopKBuffer(1)
+        buf.offer(1, 0.2, 0, 0)
+        assert not buf.offer(2, 0.9, 0, 0)
+        assert buf.neighbors()[0].user == 1
+
+    def test_rejects_infinite_scores(self):
+        buf = TopKBuffer(3)
+        assert not buf.offer(1, INF, INF, 1.0)
+        assert len(buf) == 0
+
+    def test_rejects_nan(self):
+        buf = TopKBuffer(3)
+        assert not buf.offer(1, float("nan"), 0, 0)
+
+    def test_tie_break_prefers_smaller_user(self):
+        buf = TopKBuffer(1)
+        buf.offer(5, 0.5, 0, 0)
+        assert buf.offer(2, 0.5, 0, 0)  # same score, smaller id wins
+        assert buf.neighbors()[0].user == 2
+        assert not buf.offer(9, 0.5, 0, 0)
+
+    def test_neighbors_sorted_by_score_then_user(self):
+        buf = TopKBuffer(4)
+        buf.offer(3, 0.2, 0, 0)
+        buf.offer(1, 0.5, 0, 0)
+        buf.offer(2, 0.2, 0, 0)
+        users = [nb.user for nb in buf.neighbors()]
+        assert users == [2, 3, 1]
+
+    def test_contains(self):
+        buf = TopKBuffer(2)
+        buf.offer(7, 0.1, 0, 0)
+        assert 7 in buf
+        assert 8 not in buf
+
+    def test_invalid_k(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TopKBuffer(0)
+
+    def test_reoffered_user_ignored(self):
+        """A user's score is deterministic per query, so re-offers are
+        ignored (this is what makes warm-started searches safe)."""
+        buf = TopKBuffer(3)
+        assert buf.offer(7, 0.5, 0, 0)
+        assert not buf.offer(7, 0.5, 0, 0)
+        assert len(buf) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 50), st.floats(min_value=0, max_value=10), min_size=1, max_size=40
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_property_matches_sorted_prefix(self, scores, k):
+        """The buffer must retain exactly the k best (score, user) pairs
+        over distinct users."""
+        buf = TopKBuffer(k)
+        items = list(scores.items())
+        for user, score in items:
+            buf.offer(user, score, 0, 0)
+        expected = sorted((s, u) for u, s in items)[:k]
+        got = [(nb.score, nb.user) for nb in buf.neighbors()]
+        assert got == expected
+
+
+class TestSSRQResult:
+    def test_accessors(self):
+        neighbors = [Neighbor(3, 0.1, 1.0, 2.0), Neighbor(5, 0.4, 2.0, 1.0)]
+        result = SSRQResult(0, 2, 0.3, neighbors, SearchStats())
+        assert result.users == [3, 5]
+        assert result.scores == [0.1, 0.4]
+        assert result.fk == 0.4
+        assert len(result) == 2
+        assert list(result) == neighbors
+
+    def test_empty_result(self):
+        result = SSRQResult(0, 5, 0.3, [], SearchStats())
+        assert result.fk == INF
+        assert result.users == []

@@ -1,0 +1,37 @@
+"""Tests for search statistics accounting."""
+
+from repro.core.stats import SearchStats
+
+
+def test_pops_total():
+    stats = SearchStats(pops_social=3, pops_spatial=4, pops_index=5)
+    assert stats.pops == 12
+
+
+def test_pop_ratio():
+    stats = SearchStats(pops_social=50)
+    assert stats.pop_ratio(100) == 0.5
+    assert stats.pop_ratio(0) == 0.0
+
+
+def test_pop_ratio_can_exceed_one():
+    stats = SearchStats(pops_social=150, pops_spatial=150)
+    assert stats.pop_ratio(100) == 3.0
+
+
+def test_merge_accumulates():
+    a = SearchStats(pops_social=1, evaluations=2, elapsed=0.5, extra={"fallback": 1})
+    b = SearchStats(pops_social=2, cache_hits=3, elapsed=0.25, extra={"fallback": 1})
+    a.merge(b)
+    assert a.pops_social == 3
+    assert a.evaluations == 2
+    assert a.cache_hits == 3
+    assert a.elapsed == 0.75
+    assert a.extra["fallback"] == 2
+
+
+def test_defaults_zero():
+    stats = SearchStats()
+    assert stats.pops == 0
+    assert stats.evaluations == 0
+    assert stats.extra == {}

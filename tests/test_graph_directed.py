@@ -1,0 +1,116 @@
+"""Directed-graph support across the graph substrate (paper Section 3:
+"our work extends to directed graphs easily")."""
+
+import math
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.astar import alt_distance
+from repro.graph.bidirectional import BidirectionalDistanceEngine, bidirectional_dijkstra
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.graph.traversal import dijkstra_distances
+
+INF = math.inf
+
+
+def random_digraph(n: int, avg_out_degree: float, seed: int) -> SocialGraph:
+    rng = random.Random(seed)
+    target = int(n * avg_out_degree)
+    edges = set()
+    guard = 0
+    while len(edges) < target and guard < 20 * target:
+        guard += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    return SocialGraph.from_edges(
+        n, [(u, v, rng.uniform(0.05, 1.0)) for u, v in sorted(edges)], directed=True
+    )
+
+
+def to_networkx(g: SocialGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.n))
+    for u, v, w in g.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+def test_directed_dijkstra_matches_networkx():
+    g = random_digraph(60, 3.0, seed=1)
+    expected = nx.single_source_dijkstra_path_length(to_networkx(g), 0)
+    got = dijkstra_distances(g, 0)
+    assert set(got) == set(expected)
+    for v in expected:
+        assert math.isclose(got[v], expected[v], abs_tol=1e-9)
+
+
+def test_directed_landmark_lower_bound_valid():
+    g = random_digraph(50, 3.0, seed=2)
+    lm = LandmarkIndex.build(g, m=3, seed=2)
+    for u in range(0, 50, 7):
+        truth = dijkstra_distances(g, u)
+        for v in range(50):
+            lb = lm.lower_bound(u, v)
+            assert lb <= truth.get(v, INF) + 1e-9, f"pair ({u}, {v})"
+
+
+def test_directed_bound_is_asymmetric():
+    """p(u, v) != p(v, u) in digraphs; the bounds must respect that."""
+    g = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 10.0)], directed=True)
+    lm = LandmarkIndex(g, [0])
+    # p(0, 2) = 2, p(2, 0) = 10
+    assert lm.lower_bound(0, 2) <= 2.0 + 1e-9
+    assert lm.lower_bound(2, 0) <= 10.0 + 1e-9
+    # The reverse-table bound p(u->l) - p(v->l) should see the asymmetry:
+    # p(2->0)=10, p(0->0)=0 gives bound 10 for p(2, 0).
+    assert lm.lower_bound(2, 0) == 10.0
+
+
+def test_directed_alt_distance_matches_dijkstra():
+    g = random_digraph(60, 3.0, seed=3)
+    lm = LandmarkIndex.build(g, m=3, seed=3)
+    truth = dijkstra_distances(g, 5)
+    for t in range(0, 60, 5):
+        assert math.isclose(
+            alt_distance(g, 5, t, lm), truth.get(t, INF), abs_tol=1e-9
+        ), f"target {t}"
+
+
+def test_directed_bidirectional_dijkstra():
+    g = random_digraph(60, 3.0, seed=4)
+    truth = dijkstra_distances(g, 7)
+    for t in range(0, 60, 6):
+        assert math.isclose(
+            bidirectional_dijkstra(g, 7, t), truth.get(t, INF), abs_tol=1e-9
+        )
+
+
+def test_directed_distance_engine():
+    g = random_digraph(50, 3.0, seed=5)
+    lm = LandmarkIndex.build(g, m=3, seed=5)
+    engine = BidirectionalDistanceEngine(g, 2, lm)
+    truth = dijkstra_distances(g, 2)
+    for t in range(50):
+        assert math.isclose(engine.distance(t), truth.get(t, INF), abs_tol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_directed_engine_and_bounds(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 30)
+    g = random_digraph(n, 2.5, seed=seed % 600)
+    lm = LandmarkIndex.build(g, m=min(2, n), seed=seed % 7)
+    source = rng.randrange(n)
+    truth = dijkstra_distances(g, source)
+    engine = BidirectionalDistanceEngine(g, source, lm)
+    for _ in range(6):
+        t = rng.randrange(n)
+        expected = truth.get(t, INF)
+        assert math.isclose(engine.distance(t), expected, abs_tol=1e-9)
+        assert lm.lower_bound(source, t) <= expected + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for incremental landmark-table maintenance under edge updates.
+
+Every scenario is validated against the oracle: rebuild the landmark
+index from scratch on the updated graph and compare full tables.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dynamics import DynamicLandmarkTables
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from tests.conftest import random_graph
+
+INF = math.inf
+
+
+def assert_tables_match(dynamic: DynamicLandmarkTables) -> None:
+    current = dynamic.snapshot()
+    fresh = LandmarkIndex(current, dynamic.landmarks.landmarks)
+    for row_got, row_want in zip(dynamic.landmarks.dist, fresh.dist):
+        for v, (a, b) in enumerate(zip(row_got, row_want)):
+            assert math.isclose(a, b, abs_tol=1e-9) or (a == b == INF), (
+                f"vertex {v}: incremental {a} vs recomputed {b}"
+            )
+
+
+@pytest.fixture()
+def dynamic():
+    g = random_graph(40, 4.0, seed=81)
+    lm = LandmarkIndex.build(g, m=3, seed=8)
+    return DynamicLandmarkTables(g, lm)
+
+
+def test_weight_decrease(dynamic):
+    u, v, w = next(iter(dynamic.snapshot().edges()))
+    dynamic.update_edge(u, v, w / 10)
+    assert_tables_match(dynamic)
+
+
+def test_weight_increase(dynamic):
+    u, v, w = next(iter(dynamic.snapshot().edges()))
+    dynamic.update_edge(u, v, w * 10)
+    assert_tables_match(dynamic)
+
+
+def test_edge_insertion(dynamic):
+    g = dynamic.snapshot()
+    pair = next(
+        (u, v) for u in range(g.n) for v in range(u + 1, g.n) if not g.has_edge(u, v)
+    )
+    dynamic.update_edge(pair[0], pair[1], 0.01)
+    assert_tables_match(dynamic)
+
+
+def test_edge_deletion(dynamic):
+    u, v, _ = next(iter(dynamic.snapshot().edges()))
+    dynamic.update_edge(u, v, None)
+    assert_tables_match(dynamic)
+
+
+def test_deleting_bridge_disconnects(dynamic_graph=None):
+    g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    lm = LandmarkIndex(g, [0])
+    dyn = DynamicLandmarkTables(g, lm)
+    dyn.update_edge(1, 2, None)
+    assert dyn.landmarks.dist[0][2] == INF
+    assert dyn.landmarks.dist[0][3] == INF
+    assert dyn.landmarks.dist[0][1] == 1.0
+
+
+def test_reinsertion_restores(dynamic):
+    u, v, w = next(iter(dynamic.snapshot().edges()))
+    before = [list(row) for row in dynamic.landmarks.dist]
+    dynamic.update_edge(u, v, None)
+    dynamic.update_edge(u, v, w)
+    for row_got, row_want in zip(dynamic.landmarks.dist, before):
+        for a, b in zip(row_got, row_want):
+            assert math.isclose(a, b, abs_tol=1e-9) or (a == b == INF)
+
+
+def test_noop_same_weight(dynamic):
+    u, v, w = next(iter(dynamic.snapshot().edges()))
+    before = [list(row) for row in dynamic.landmarks.dist]
+    dynamic.update_edge(u, v, w)
+    assert [list(r) for r in dynamic.landmarks.dist] == before
+
+
+def test_invalid_updates(dynamic):
+    with pytest.raises(ValueError):
+        dynamic.update_edge(0, 0, 1.0)
+    with pytest.raises(ValueError):
+        dynamic.update_edge(0, 1, -1.0)
+    g = dynamic.snapshot()
+    pair = next(
+        (u, v) for u in range(g.n) for v in range(u + 1, g.n) if not g.has_edge(u, v)
+    )
+    with pytest.raises(KeyError):
+        dynamic.update_edge(pair[0], pair[1], None)
+
+
+def test_directed_rejected():
+    g = SocialGraph.from_edges(3, [(0, 1, 1.0)], directed=True)
+    lm = LandmarkIndex(g, [0])
+    with pytest.raises(NotImplementedError):
+        DynamicLandmarkTables(g, lm)
+
+
+def test_update_counter(dynamic):
+    u, v, w = next(iter(dynamic.snapshot().edges()))
+    dynamic.update_edge(u, v, w / 2)
+    dynamic.update_edge(u, v, w)
+    assert dynamic.updates_applied == 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_update_sequences(seed):
+    rng = random.Random(seed)
+    n = rng.randint(6, 25)
+    g = random_graph(n, 3.0, seed=seed % 444)
+    lm = LandmarkIndex.build(g, m=2, seed=seed % 9)
+    dyn = DynamicLandmarkTables(g, lm)
+    for _ in range(5):
+        action = rng.random()
+        edges = list(dyn.snapshot().edges())
+        if action < 0.4 and edges:
+            u, v, w = rng.choice(edges)
+            dyn.update_edge(u, v, w * rng.uniform(0.1, 5.0))
+        elif action < 0.7 and edges:
+            u, v, _ = rng.choice(edges)
+            dyn.update_edge(u, v, None)
+        else:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v and not dyn.snapshot().has_edge(u, v):
+                dyn.update_edge(u, v, rng.uniform(0.05, 2.0))
+    assert_tables_match(dyn)

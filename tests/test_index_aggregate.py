@@ -1,0 +1,163 @@
+"""Tests for the aggregate index: construction, bound validity, and
+update maintenance vs. full rebuild."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.traversal import dijkstra_distances
+from repro.index.aggregate import AggregateIndex
+from repro.index.bounds import social_lower_bound
+from tests.conftest import random_graph, random_locations
+
+INF = math.inf
+
+
+@pytest.fixture()
+def setup():
+    g = random_graph(120, 5.0, seed=101)
+    locations = random_locations(120, seed=102, coverage=0.8)
+    lm = LandmarkIndex.build(g, m=3, seed=5)
+    index = AggregateIndex.build(locations, lm, s=4)
+    return g, locations, lm, index
+
+
+def summaries_equal(a: AggregateIndex, b: AggregateIndex) -> bool:
+    if set(a.leaf_summaries) != set(b.leaf_summaries):
+        return False
+    if set(a.top_summaries) != set(b.top_summaries):
+        return False
+    for key, summary in a.leaf_summaries.items():
+        if summary != b.leaf_summaries[key]:
+            return False
+    for key, summary in a.top_summaries.items():
+        if summary != b.top_summaries[key]:
+            return False
+    return True
+
+
+class TestBuild:
+    def test_indexes_only_located_users(self, setup):
+        _, locations, _, index = setup
+        assert len(index) == locations.n_located
+
+    def test_leaf_summaries_bracket_members(self, setup):
+        _, _, lm, index = setup
+        for leaf, summary in index.leaf_summaries.items():
+            for user in index.users_in(leaf):
+                vec = lm.vector(user)
+                for j in range(lm.m):
+                    assert summary.m_check[j] <= vec[j] <= summary.m_hat[j]
+
+    def test_top_summaries_cover_children(self, setup):
+        _, _, _, index = setup
+        for top, summary in index.top_summaries.items():
+            for leaf in index.grid.children_of(top):
+                child = index.leaf_summaries[leaf]
+                for j in range(len(summary.m_check)):
+                    assert summary.m_check[j] <= child.m_check[j]
+                    assert summary.m_hat[j] >= child.m_hat[j]
+
+    def test_cell_social_bound_valid_for_members(self, setup):
+        g, _, lm, index = setup
+        query = 0
+        truth = dijkstra_distances(g, query)
+        qv = lm.vector(query)
+        for leaf, summary in index.leaf_summaries.items():
+            bound = social_lower_bound(qv, summary.m_check, summary.m_hat)
+            for user in index.users_in(leaf):
+                assert bound <= truth.get(user, INF) + 1e-9
+
+
+class TestUpdates:
+    def rebuild(self, locations, lm, index, s=4):
+        """Fresh index over the current locations, reusing the original
+        bounding box (updates never re-derive the grid geometry)."""
+        from repro.spatial.multigrid import MultiLevelGrid
+
+        grid = MultiLevelGrid(index.grid.bbox, s)
+        for user in locations.located_users():
+            x, y = locations.get(user)
+            grid.insert(user, x, y)
+        return AggregateIndex(grid, lm, locations)
+
+    def test_move_between_cells_matches_rebuild(self, setup):
+        _, locations, lm, index = setup
+        user = next(locations.located_users())
+        locations.set(user, 0.987, 0.013)
+        index.move_user(user, 0.987, 0.013)
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+    def test_move_within_cell_is_noop(self, setup):
+        _, locations, lm, index = setup
+        user = next(locations.located_users())
+        x, y = locations.get(user)
+        leaf = index.grid.leaf_of(x, y)
+        box = index.grid.leaf_bbox(leaf)
+        nx = (box.minx + box.maxx) / 2
+        ny = (box.miny + box.maxy) / 2
+        locations.set(user, nx, ny)
+        index.move_user(user, nx, ny)
+        assert index.grid.leaf_of_user(user) == leaf
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+    def test_insert_previously_unlocated(self, setup):
+        _, locations, lm, index = setup
+        user = next(u for u in range(120) if not locations.has_location(u))
+        locations.set(user, 0.5, 0.5)
+        index.insert_user(user, 0.5, 0.5)
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+    def test_remove_user(self, setup):
+        _, locations, lm, index = setup
+        user = next(locations.located_users())
+        index.remove_user(user)
+        locations.clear(user)
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+    def test_remove_unindexed_raises(self, setup):
+        _, locations, _, index = setup
+        user = next(u for u in range(120) if not locations.has_location(u))
+        with pytest.raises(KeyError):
+            index.remove_user(user)
+
+    def test_random_update_storm_matches_rebuild(self, setup):
+        _, locations, lm, index = setup
+        rng = random.Random(7)
+        for _ in range(120):
+            user = rng.randrange(120)
+            action = rng.random()
+            if action < 0.7:
+                x, y = rng.random(), rng.random()
+                locations.set(user, x, y)
+                index.move_user(user, x, y)
+            elif locations.has_location(user):
+                index.remove_user(user)
+                locations.clear(user)
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+    def test_empty_cell_summaries_are_dropped(self, setup):
+        _, locations, lm, index = setup
+        # Move every user into one corner cell: all other summaries gone.
+        for user in list(locations.located_users()):
+            locations.set(user, 0.001, 0.001)
+            index.move_user(user, 0.001, 0.001)
+        assert len(index.leaf_summaries) == 1
+        assert len(index.top_summaries) == 1
+        assert summaries_equal(index, self.rebuild(locations, lm, index))
+
+
+class TestSpatialMindist:
+    def test_in_box_query_uses_bbox(self, setup):
+        _, _, _, index = setup
+        leaf, _, bbox = next(iter(index.children(index.grid.nonempty_tops()[0])))
+        assert index.spatial_mindist(bbox, leaf, False, 0.5, 0.5) == bbox.mindist(0.5, 0.5)
+
+    def test_out_of_box_query_borders_bound_zero(self, setup):
+        _, _, _, index = setup
+        res = index.grid.s * index.grid.s
+        border_leaf = (0, 0)
+        bbox = index.grid.leaf_bbox(border_leaf)
+        assert index.spatial_mindist(bbox, border_leaf, False, -10.0, -10.0) == 0.0

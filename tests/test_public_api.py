@@ -1,0 +1,85 @@
+"""Public API surface: imports, __all__ hygiene, and docstrings.
+
+A downstream user's first contact is ``import repro``; these tests pin
+the promises the README makes.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.graph",
+    "repro.spatial",
+    "repro.index",
+    "repro.topk",
+    "repro.datasets",
+    "repro.bench",
+    "repro.utils",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackages_import_and_document(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_readme_quickstart_names_exist():
+    # The names used in README's quickstart snippet.
+    from repro import GeoSocialEngine, gowalla_like  # noqa: F401
+
+    assert callable(gowalla_like)
+    assert hasattr(GeoSocialEngine, "query")
+    assert hasattr(GeoSocialEngine, "move_user")
+
+
+def test_methods_constant_documented_in_engine():
+    from repro.core.engine import METHODS, GeoSocialEngine
+
+    doc = inspect.getmodule(GeoSocialEngine).__doc__
+    for method in METHODS:
+        assert method in doc, f"method {method!r} missing from engine docs"
+
+
+def test_public_classes_have_docstrings():
+    public = [
+        repro.GeoSocialEngine,
+        repro.SocialGraph,
+        repro.LocationTable,
+        repro.AggregateIndex,
+        repro.RankingFunction,
+        repro.TopKBuffer,
+        repro.SSRQResult,
+        repro.SearchStats,
+        repro.SocialFirstSearch,
+        repro.SpatialFirstSearch,
+        repro.TwofoldSearch,
+        repro.AggregateIndexSearch,
+        repro.BruteForceSearch,
+        repro.SocialNeighborCache,
+        repro.CachedSocialFirst,
+    ]
+    for cls in public:
+        assert cls.__doc__ and cls.__doc__.strip(), f"{cls.__name__} lacks a docstring"
+
+
+def test_dataset_builders_are_deterministic_across_import():
+    a = repro.gowalla_like(n=200, seed=3)
+    b = repro.gowalla_like(n=200, seed=3)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())

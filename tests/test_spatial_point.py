@@ -1,0 +1,156 @@
+"""Unit and property tests for geometry primitives and LocationTable."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.point import BBox, LocationTable, euclidean
+
+INF = math.inf
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+
+    def test_zero_distance(self):
+        assert euclidean(1.5, -2.0, 1.5, -2.0) == 0.0
+
+    @given(coords, coords, coords, coords)
+    def test_symmetry(self, ax, ay, bx, by):
+        assert euclidean(ax, ay, bx, by) == euclidean(bx, by, ax, ay)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        ab = euclidean(ax, ay, bx, by)
+        bc = euclidean(bx, by, cx, cy)
+        ac = euclidean(ax, ay, cx, cy)
+        assert ac <= ab + bc + 1e-9
+
+
+class TestBBox:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BBox(1, 0, 0, 1)
+
+    def test_diagonal(self):
+        assert BBox(0, 0, 3, 4).diagonal == 5.0
+
+    def test_mindist_inside_is_zero(self):
+        assert BBox(0, 0, 1, 1).mindist(0.5, 0.5) == 0.0
+
+    def test_mindist_axis_projection(self):
+        # Directly left of the box: horizontal projection.
+        assert BBox(1, 0, 2, 1).mindist(0.0, 0.5) == 1.0
+
+    def test_mindist_corner(self):
+        assert BBox(1, 1, 2, 2).mindist(0.0, 0.0) == pytest.approx(math.sqrt(2))
+
+    def test_maxdist_reaches_far_corner(self):
+        assert BBox(0, 0, 1, 1).maxdist(0.0, 0.0) == pytest.approx(math.sqrt(2))
+
+    @given(coords, coords)
+    def test_mindist_below_maxdist(self, x, y):
+        box = BBox(-1, -2, 3, 4)
+        assert box.mindist(x, y) <= box.maxdist(x, y) + 1e-9
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_of_points_contains_all(self, points):
+        box = BBox.of_points(points)
+        for x, y in points:
+            assert box.contains(x, y)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=15))
+    def test_diagonal_bounds_pairwise_distances(self, points):
+        box = BBox.of_points(points)
+        for ax, ay in points:
+            for bx, by in points:
+                assert euclidean(ax, ay, bx, by) <= box.diagonal + 1e-9
+
+
+class TestLocationTable:
+    def test_empty_has_no_locations(self):
+        table = LocationTable.empty(5)
+        assert table.n_located == 0
+        assert table.coverage == 0.0
+        assert table.get(3) is None
+
+    def test_set_and_get(self):
+        table = LocationTable.empty(3)
+        table.set(1, 0.5, 0.25)
+        assert table.get(1) == (0.5, 0.25)
+        assert table.n_located == 1
+
+    def test_distance_known_pair(self):
+        table = LocationTable.empty(2)
+        table.set(0, 0.0, 0.0)
+        table.set(1, 3.0, 4.0)
+        assert table.distance(0, 1) == 5.0
+
+    def test_distance_missing_is_infinite(self):
+        table = LocationTable.empty(2)
+        table.set(0, 0.0, 0.0)
+        assert table.distance(0, 1) == INF
+        assert table.distance(1, 0) == INF
+
+    def test_set_nan_rejected(self):
+        table = LocationTable.empty(1)
+        with pytest.raises(ValueError):
+            table.set(0, math.nan, 0.0)
+
+    def test_clear_forgets(self):
+        table = LocationTable.empty(1)
+        table.set(0, 1.0, 1.0)
+        table.clear(0)
+        assert table.get(0) is None
+        assert table.n_located == 0
+
+    def test_overwrite_does_not_double_count(self):
+        table = LocationTable.empty(1)
+        table.set(0, 1.0, 1.0)
+        table.set(0, 2.0, 2.0)
+        assert table.n_located == 1
+        assert table.get(0) == (2.0, 2.0)
+
+    def test_located_users_in_id_order(self):
+        table = LocationTable.empty(4)
+        table.set(2, 0.1, 0.1)
+        table.set(0, 0.2, 0.2)
+        assert list(table.located_users()) == [0, 2]
+
+    def test_from_dict(self):
+        table = LocationTable.from_dict(3, {1: (0.5, 0.5)})
+        assert table.get(1) == (0.5, 0.5)
+        assert table.get(0) is None
+
+    def test_bbox_over_known_locations(self):
+        table = LocationTable.empty(3)
+        table.set(0, 0.0, 0.0)
+        table.set(1, 2.0, 3.0)
+        box = table.bbox()
+        assert (box.minx, box.miny, box.maxx, box.maxy) == (0.0, 0.0, 2.0, 3.0)
+
+    def test_copy_is_independent(self):
+        table = LocationTable.empty(1)
+        table.set(0, 1.0, 1.0)
+        clone = table.copy()
+        clone.set(0, 9.0, 9.0)
+        assert table.get(0) == (1.0, 1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LocationTable([0.0], [0.0, 1.0])
+
+    def test_distance_to_point(self):
+        table = LocationTable.empty(2)
+        table.set(0, 0.0, 0.0)
+        assert table.distance_to(0, 3.0, 4.0) == 5.0
+        assert table.distance_to(1, 0.0, 0.0) == INF

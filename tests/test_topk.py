@@ -1,0 +1,175 @@
+"""Tests for the TA / NRA / CA / Quick-Combine substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topk.ca import combined_algorithm
+from repro.topk.nra import no_random_access
+from repro.topk.quick_combine import QuickCombinePolicy, RoundRobinPolicy
+from repro.topk.sources import SortedSource
+from repro.topk.ta import threshold_algorithm
+
+
+def combine_sum(values):
+    return sum(values)
+
+
+def make_sources(rows: dict[int, tuple[float, ...]], m: int) -> list[SortedSource]:
+    return [SortedSource({i: row[j] for i, row in rows.items()}) for j in range(m)]
+
+
+def brute(rows, k):
+    scored = sorted((sum(row), i) for i, row in rows.items())
+    return scored[:k]
+
+
+def random_rows(rng, n, m):
+    return {i: tuple(rng.uniform(0, 10) for _ in range(m)) for i in range(n)}
+
+
+class TestSortedSource:
+    def test_sorted_access_ascending(self):
+        src = SortedSource({1: 3.0, 2: 1.0, 3: 2.0})
+        assert [src.next() for _ in range(3)] == [(2, 1.0), (3, 2.0), (1, 3.0)]
+        assert src.next() is None
+        assert src.exhausted
+
+    def test_access_counters(self):
+        src = SortedSource({1: 1.0, 2: 2.0})
+        src.next()
+        src.get(2)
+        assert src.sorted_accesses == 1
+        assert src.random_accesses == 1
+
+    def test_last_value_tracks_cursor(self):
+        src = SortedSource({1: 1.0, 2: 2.0})
+        assert src.last_value == 0.0
+        src.next()
+        assert src.last_value == 1.0
+
+    def test_random_access_missing_is_inf(self):
+        src = SortedSource({1: 1.0})
+        assert src.get(9) == float("inf")
+
+
+@pytest.mark.parametrize("algo", [threshold_algorithm, no_random_access, combined_algorithm])
+class TestAlgorithmsAgainstBruteForce:
+    def test_small_fixed(self, algo):
+        rows = {0: (1.0, 5.0), 1: (2.0, 1.0), 2: (9.0, 9.0), 3: (0.5, 0.5)}
+        got = algo(make_sources(rows, 2), combine_sum, 2)
+        expected = brute(rows, 2)
+        assert [s for s, _ in got] == pytest.approx([s for s, _ in expected])
+        assert {i for _, i in got} == {i for _, i in expected}
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_instances(self, algo, seed):
+        rng = random.Random(seed)
+        rows = random_rows(rng, rng.randint(5, 60), rng.randint(2, 4))
+        k = rng.randint(1, 5)
+        got = algo(make_sources(rows, len(next(iter(rows.values())))), combine_sum, k)
+        expected = brute(rows, k)
+        assert [round(s, 9) for s, _ in got] == [round(s, 9) for s, _ in expected]
+
+    def test_k_exceeds_population(self, algo):
+        rows = {0: (1.0,), 1: (2.0,)}
+        got = algo(make_sources(rows, 1), combine_sum, 10)
+        assert len(got) == 2
+
+    def test_invalid_k(self, algo):
+        with pytest.raises(ValueError):
+            algo([], combine_sum, 0)
+
+
+class TestEarlyTermination:
+    def test_ta_stops_before_exhausting_sources(self):
+        rng = random.Random(9)
+        rows = random_rows(rng, 200, 2)
+        sources = make_sources(rows, 2)
+        threshold_algorithm(sources, combine_sum, 1)
+        assert any(s.sorted_accesses < len(s) for s in sources)
+
+    def test_ca_uses_fewer_random_accesses_than_ta(self):
+        rng = random.Random(10)
+        rows = random_rows(rng, 150, 2)
+        ta_sources = make_sources(rows, 2)
+        threshold_algorithm(ta_sources, combine_sum, 3)
+        ca_sources = make_sources(rows, 2)
+        combined_algorithm(ca_sources, combine_sum, 3, kappa=10)
+        assert sum(s.random_accesses for s in ca_sources) <= sum(
+            s.random_accesses for s in ta_sources
+        )
+
+    def test_nra_uses_no_random_access(self):
+        rng = random.Random(11)
+        rows = random_rows(rng, 100, 3)
+        sources = make_sources(rows, 3)
+        no_random_access(sources, combine_sum, 3)
+        assert all(s.random_accesses == 0 for s in sources)
+
+
+class TestQuickCombine:
+    def test_prefers_faster_growing_stream(self):
+        policy = QuickCombinePolicy((0.5, 0.5))
+        for i in range(4):
+            policy.observe(0, i * 10.0)  # fast riser
+            policy.observe(1, i * 0.1)  # slow riser
+        assert policy.choose((True, True)) == 0
+
+    def test_weights_scale_preference(self):
+        policy = QuickCombinePolicy((0.01, 0.99))
+        for i in range(4):
+            policy.observe(0, i * 1.0)
+            policy.observe(1, i * 1.0)
+        assert policy.choose((True, True)) == 1
+
+    def test_unobserved_streams_prioritised(self):
+        policy = QuickCombinePolicy((0.5, 0.5))
+        for i in range(4):
+            policy.observe(0, float(i))
+        assert policy.choose((True, True)) == 1
+
+    def test_skips_inactive(self):
+        policy = QuickCombinePolicy((0.5, 0.5))
+        assert policy.choose((False, True)) == 1
+        with pytest.raises(ValueError):
+            policy.choose((False, False))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuickCombinePolicy(())
+        with pytest.raises(ValueError):
+            QuickCombinePolicy((0.5, -0.1))
+        with pytest.raises(ValueError):
+            QuickCombinePolicy((1.0,), window=1)
+
+
+class TestRoundRobin:
+    def test_alternates(self):
+        policy = RoundRobinPolicy(2)
+        picks = [policy.choose((True, True)) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_skips_inactive(self):
+        policy = RoundRobinPolicy(2)
+        assert policy.choose((False, True)) == 1
+        assert policy.choose((False, True)) == 1
+
+    def test_no_active_raises(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy(2).choose((False, False))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_all_three_match_brute_force(seed):
+    rng = random.Random(seed)
+    rows = random_rows(rng, rng.randint(3, 40), rng.randint(1, 3))
+    m = len(next(iter(rows.values())))
+    k = rng.randint(1, 6)
+    expected = [round(s, 9) for s, _ in brute(rows, k)]
+    for algo in (threshold_algorithm, no_random_access, combined_algorithm):
+        got = algo(make_sources(rows, m), combine_sum, k)
+        assert [round(s, 9) for s, _ in got] == expected
