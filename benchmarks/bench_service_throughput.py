@@ -1,0 +1,104 @@
+"""Service-layer throughput: queries/sec versus batch size, worker
+count, and result caching under Zipf-skewed arrivals.
+
+Not a paper figure — this benchmarks the serving layer added on top of
+the reproduction (`repro.service`).  Each case serves the *same* arrival
+sequence; the interesting numbers are the speedups over the sequential
+no-cache baseline and the cache hit rate the skew produces.
+
+Run as pytest-benchmark cases::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py
+
+or standalone (prints the throughput table and asserts the >1x
+batching+caching speedup)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.service_workload import (
+    run_throughput_point,
+    service_throughput,
+    zipf_arrivals,
+)
+from repro.bench.workloads import get_bundle
+
+CASES = [
+    ("baseline-seq-nocache", 1, 1, 0),
+    ("batch16-workers4-nocache", 16, 4, 0),
+    ("seq-cache4096", 1, 1, 4096),
+    ("batch64-workers4-cache4096", 64, 4, 4096),
+]
+
+
+def _workload(profile):
+    bundle = get_bundle("gowalla", profile)
+    located = list(bundle.dataset.locations.located_users())
+    arrivals = zipf_arrivals(
+        located, count=max(profile.queries * 25, 100), skew=1.1, seed=profile.seed
+    )
+    return bundle.engine, arrivals
+
+
+@pytest.mark.parametrize("label,batch,workers,cache", CASES)
+def test_service_throughput(benchmark, profile, label, batch, workers, cache):
+    engine, arrivals = _workload(profile)
+    point = benchmark.pedantic(
+        run_throughput_point,
+        args=(engine, arrivals),
+        kwargs=dict(
+            label=label,
+            batch_size=batch,
+            workers=workers,
+            cache_size=cache,
+            k=profile.default_k,
+            alpha=profile.default_alpha,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["qps"] = round(point.qps, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(point.hit_rate, 4)
+    benchmark.extra_info["queries"] = point.queries
+
+
+def test_batching_and_caching_speed_up_skewed_traffic(profile):
+    """Acceptance: batching+caching beats the sequential no-cache loop
+    (>1x) on a Zipf-skewed workload, with a meaningful hit rate."""
+    engine, arrivals = _workload(profile)
+    baseline = run_throughput_point(
+        engine, arrivals, label="baseline", batch_size=1, workers=1, cache_size=0,
+        k=profile.default_k, alpha=profile.default_alpha,
+    )
+    combined = run_throughput_point(
+        engine, arrivals, label="batch+cache", batch_size=64, workers=4,
+        cache_size=4096, k=profile.default_k, alpha=profile.default_alpha,
+    )
+    assert combined.hit_rate > 0.0, "Zipf skew must produce repeat hits"
+    speedup = combined.qps / baseline.qps
+    assert speedup > 1.0, (
+        f"batching+caching must beat the sequential baseline, got {speedup:.2f}x "
+        f"(hit rate {combined.hit_rate:.1%})"
+    )
+
+
+def main() -> int:
+    for table in service_throughput():
+        print(table.to_text())
+        speedups = table.column("Speedup")
+        hit_rates = table.column("Cache hit rate")
+        best = max(speedups)
+        print(
+            f"\nbest speedup over sequential no-cache baseline: {best:.2f}x "
+            f"(best cache hit rate {max(hit_rates):.1%})"
+        )
+        assert best > 1.0, "expected >1x speedup from batching+caching"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,15 @@
 """repro — Joint Search by Social and Spatial Proximity (SSRQ).
 
 A complete reproduction of Mouratidis, Li, Tang & Mamoulis, *"Joint
-Search by Social and Spatial Proximity"* (IEEE TKDE 27(3), 2015): the
+Search by Social and Spatial Proximity"* (ICDE 2016): the
 social-and-spatial ranking query, every processing algorithm the paper
 proposes (SFA, SPA, TSA, TSA-QC, AIS and its variants, pre-computation),
 every substrate it depends on (weighted graph search, ALT landmarks,
 bidirectional distance modules, Contraction Hierarchies, grid spatial
 indexes, the aggregate index with social summaries), calibrated dataset
-generators, and a benchmark harness regenerating the paper's evaluation.
+generators, a benchmark harness regenerating the paper's evaluation,
+and a serving layer (:mod:`repro.service`) adding batching, worker-pool
+concurrency, and an update-aware result cache on top of the engine.
 
 Quickstart::
 
@@ -15,7 +17,7 @@ Quickstart::
 
     dataset = gowalla_like(n=2000, seed=7)
     engine = GeoSocialEngine.from_dataset(dataset)
-    result = engine.query(user=42, k=10, alpha=0.3, method="ais")
+    result = engine.query(user=8, k=10, alpha=0.3, method="ais")
     for nb in result:
         print(nb.user, nb.score, nb.social, nb.spatial)
 """
@@ -41,9 +43,12 @@ from repro.datasets.synthetic import (
 )
 from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
+from repro.service.cache import ResultCache
+from repro.service.model import QueryRequest, QueryResponse, ServiceStats
+from repro.service.service import QueryService
 from repro.spatial.point import BBox, LocationTable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -65,6 +70,12 @@ __all__ = [
     "SSRQResult",
     "TopKBuffer",
     "SearchStats",
+    # service layer
+    "QueryService",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceStats",
+    "ResultCache",
     # data model
     "SocialGraph",
     "LocationTable",

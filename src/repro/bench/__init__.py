@@ -13,6 +13,12 @@ Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable
 from repro.bench.config import BenchProfile, get_profile
 from repro.bench.reporting import ExperimentTable
 from repro.bench.runner import MethodAggregate, run_method
+from repro.bench.service_workload import (
+    ThroughputPoint,
+    run_throughput_grid,
+    run_throughput_point,
+    zipf_arrivals,
+)
 from repro.bench.workloads import DatasetBundle, get_bundle, sample_query_users
 
 __all__ = [
@@ -24,4 +30,8 @@ __all__ = [
     "DatasetBundle",
     "get_bundle",
     "sample_query_users",
+    "ThroughputPoint",
+    "zipf_arrivals",
+    "run_throughput_point",
+    "run_throughput_grid",
 ]

@@ -400,6 +400,14 @@ def fig14b(profile: BenchProfile | None = None) -> list[ExperimentTable]:
     return [table]
 
 
+def service(profile: BenchProfile | None = None) -> list[ExperimentTable]:
+    """Service-layer throughput (not a paper figure: the serving layer's
+    batching/concurrency/caching sweep under Zipf-skewed arrivals)."""
+    from repro.bench.service_workload import service_throughput
+
+    return service_throughput(profile)
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "fig7a": fig7a,
@@ -412,4 +420,5 @@ ALL_EXPERIMENTS = {
     "fig13": fig13,
     "fig14a": fig14a,
     "fig14b": fig14b,
+    "service": service,
 }

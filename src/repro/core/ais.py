@@ -55,7 +55,16 @@ _USER = 2
 
 @dataclass(frozen=True)
 class AISVariant:
-    """Feature switches distinguishing AIS-BID / AIS− / AIS."""
+    """Feature switches distinguishing AIS-BID / AIS− / AIS.
+
+        >>> from repro import AISVariant
+        >>> AISVariant.minus().delayed_evaluation
+        False
+        >>> AISVariant.bid().share_forward
+        False
+        >>> AISVariant.full() == AISVariant()
+        True
+    """
 
     share_forward: bool = True
     cache_paths: bool = True
@@ -89,7 +98,19 @@ class AISVariant:
 
 
 class AggregateIndexSearch:
-    """AIS query processor."""
+    """AIS query processor.
+
+    The engine builds it with all its substrates wired up:
+
+        >>> from repro import GeoSocialEngine, gowalla_like
+        >>> engine = GeoSocialEngine.from_dataset(gowalla_like(n=300, seed=7))
+        >>> ais = engine.searcher("ais")
+        >>> type(ais).__name__
+        'AggregateIndexSearch'
+        >>> ais.search(0, k=5, alpha=0.3).users == engine.query(
+        ...     0, 5, 0.3, method="bruteforce").users
+        True
+    """
 
     def __init__(
         self,

@@ -24,7 +24,15 @@ INF = math.inf
 
 
 class BruteForceSearch:
-    """Reference SSRQ processor (not part of the paper's method suite)."""
+    """Reference SSRQ processor (not part of the paper's method suite).
+
+        >>> from repro import BruteForceSearch, SocialGraph, LocationTable, Normalization
+        >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
+        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> bf = BruteForceSearch(g, loc, Normalization(p_max=4.0, d_max=1.5))
+        >>> bf.search(0, k=2, alpha=0.5).users
+        [1, 3]
+    """
 
     def __init__(
         self,

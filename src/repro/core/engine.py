@@ -4,7 +4,7 @@ query algorithm of the paper.
     >>> from repro import GeoSocialEngine, gowalla_like
     >>> dataset = gowalla_like(n=2000, seed=7)
     >>> engine = GeoSocialEngine.from_dataset(dataset)
-    >>> result = engine.query(user=42, k=10, alpha=0.3, method="ais")
+    >>> result = engine.query(user=8, k=10, alpha=0.3, method="ais")
     >>> [nb.user for nb in result]          # doctest: +SKIP
 
 Methods (paper names):
@@ -32,7 +32,8 @@ way the definitions demand: ``alpha == 0`` is a pure spatial query
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.ais import AggregateIndexSearch, AISVariant
 from repro.core.bruteforce import BruteForceSearch
@@ -49,7 +50,11 @@ from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
 from repro.spatial.grid import UniformGrid
 from repro.spatial.point import LocationTable
+from repro.utils.concurrency import ReadWriteLock
 from repro.utils.validation import check_alpha, check_user
+
+if TYPE_CHECKING:
+    from repro.service.model import QueryRequest
 
 METHODS = (
     "sfa",
@@ -90,6 +95,14 @@ _ALPHA1_ROUTE = {
 
 class GeoSocialEngine:
     """Indexes a geo-social dataset and answers SSRQ queries.
+
+        >>> from repro import GeoSocialEngine, gowalla_like
+        >>> engine = GeoSocialEngine.from_dataset(gowalla_like(n=300, seed=7))
+        >>> result = engine.query(user=0, k=5, alpha=0.3, method="ais")
+        >>> len(result.users)
+        5
+        >>> result.users == engine.query(0, 5, 0.3, method="bruteforce").users
+        True
 
     Parameters
     ----------
@@ -132,6 +145,8 @@ class GeoSocialEngine:
         self.locations = locations
         self.s = s
         self.default_t = default_t
+        self.landmark_strategy = landmark_strategy
+        self.seed = seed
         self.landmarks = LandmarkIndex.build(graph, num_landmarks, landmark_strategy, seed)
         self.normalization = (
             normalization
@@ -144,6 +159,23 @@ class GeoSocialEngine:
         self._ch: ContractionHierarchy | None = None
         self._ch_oracle: CHOracle | None = None
         self._caches: dict[int, SocialNeighborCache] = {}
+        # Re-entrancy: queries are read-only (audited — every searcher
+        # keeps per-query state in locals; CHOracle's memo is
+        # thread-local; SocialNeighborCache fills under its own lock),
+        # so concurrent `query` calls are safe once the searcher
+        # exists.  The build lock serialises the *lazy construction* of
+        # searchers/indexes so two threads never build the same
+        # component twice or observe a half-built one.
+        self._build_lock = threading.RLock()
+        #: serialises index mutation (move_user/forget_location and the
+        #: service layer's edge updates) against concurrent queries —
+        #: one lock per engine, shared by every QueryService over it
+        self.rw_lock = ReadWriteLock()
+        self._location_listeners: list[Callable[[int, float | None, float | None], None]] = []
+        # lazily-built default QueryServices for query_many, one per
+        # requested pool width (never closed mid-flight: another thread
+        # may still be running a batch on an earlier width's pool)
+        self._services: dict[int | None, object] = {}
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "GeoSocialEngine":
@@ -158,20 +190,27 @@ class GeoSocialEngine:
         """The CH preprocessing (built on first use; required only by
         the ``*-ch`` methods)."""
         if self._ch is None:
-            self._ch = ContractionHierarchy.build(self.graph)
+            with self._build_lock:
+                if self._ch is None:
+                    self._ch = ContractionHierarchy.build(self.graph)
         return self._ch
 
     def _oracle(self) -> CHOracle:
         if self._ch_oracle is None:
-            self._ch_oracle = CHOracle(self.contraction_hierarchy)
+            with self._build_lock:
+                if self._ch_oracle is None:
+                    self._ch_oracle = CHOracle(self.contraction_hierarchy)
         return self._ch_oracle
 
     def neighbor_cache(self, t: int) -> SocialNeighborCache:
         """The ``t``-nearest social neighbour cache (Figure 11)."""
         cache = self._caches.get(t)
         if cache is None:
-            cache = SocialNeighborCache(self.graph, t)
-            self._caches[t] = cache
+            with self._build_lock:
+                cache = self._caches.get(t)
+                if cache is None:
+                    cache = SocialNeighborCache(self.graph, t)
+                    self._caches[t] = cache
         return cache
 
     # -- query dispatch -----------------------------------------------------
@@ -185,19 +224,25 @@ class GeoSocialEngine:
             key = f"ais-cache:{t}"
             searcher = self._searchers.get(key)
             if searcher is None:
-                searcher = CachedSocialFirst(
-                    self.graph,
-                    self.locations,
-                    self.normalization,
-                    self.neighbor_cache(t),
-                    self._make_ais(AISVariant.full()),
-                )
-                self._searchers[key] = searcher
+                with self._build_lock:
+                    searcher = self._searchers.get(key)
+                    if searcher is None:
+                        searcher = CachedSocialFirst(
+                            self.graph,
+                            self.locations,
+                            self.normalization,
+                            self.neighbor_cache(t),
+                            self._make_ais(AISVariant.full()),
+                        )
+                        self._searchers[key] = searcher
             return searcher
         searcher = self._searchers.get(method)
         if searcher is None:
-            searcher = self._build_searcher(method)
-            self._searchers[method] = searcher
+            with self._build_lock:
+                searcher = self._searchers.get(method)
+                if searcher is None:
+                    searcher = self._build_searcher(method)
+                    self._searchers[method] = searcher
         return searcher
 
     def _make_ais(self, variant: AISVariant) -> AggregateIndexSearch:
@@ -277,29 +322,96 @@ class GeoSocialEngine:
         """Run the same query for several users (benchmark workloads)."""
         return [self.query(u, k, alpha, method, t=t) for u in users]
 
+    def query_many(
+        self,
+        requests: "Iterable[int | QueryRequest]",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+        max_workers: int | None = None,
+    ) -> list[SSRQResult]:
+        """Answer a heterogeneous batch of SSRQs concurrently.
+
+        Delegates to the service layer (:class:`repro.service.QueryService`)
+        with result caching *disabled*: pure batch execution over a
+        worker pool, with results returned in request order and rankings
+        identical to a sequential :meth:`query` loop.  ``requests`` may
+        mix plain user ids (which take the keyword defaults) and
+        :class:`~repro.service.QueryRequest` objects carrying their own
+        ``k``/``alpha``/``method``.  For caching, update-aware
+        invalidation, and statistics, instantiate a
+        :class:`~repro.service.QueryService` directly.
+
+        Backing services (and their worker pools) are cached per
+        requested ``max_workers`` width, so concurrent callers with
+        different widths never tear down each other's pools.
+        """
+        from repro.service.service import QueryService
+
+        with self._build_lock:
+            service = self._services.get(max_workers)
+            if service is None:
+                service = QueryService(self, cache_size=0, max_workers=max_workers)
+                self._services[max_workers] = service
+        responses = service.query_many(requests, k=k, alpha=alpha, method=method, t=t)
+        return [response.result for response in responses]
+
     # -- dynamic locations -----------------------------------------------
+
+    def add_location_listener(
+        self, listener: Callable[[int, float | None, float | None], None]
+    ) -> None:
+        """Subscribe ``listener(user, x, y)`` to every location update
+        applied through this engine (``x is None`` signals a forgotten
+        location).  Used by the service layer's result cache for
+        update-aware invalidation."""
+        self._location_listeners.append(listener)
+
+    def remove_location_listener(
+        self, listener: Callable[[int, float | None, float | None], None]
+    ) -> None:
+        """Unsubscribe a previously added location listener (no-op if
+        absent)."""
+        try:
+            self._location_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def move_user(self, user: int, x: float, y: float) -> None:
         """Process a location update: refresh the location table, SPA's
-        grid, and the aggregate index (with summary maintenance)."""
+        grid, and the aggregate index (with summary maintenance).
+
+        Takes :attr:`rw_lock`'s exclusive side, so the mutation is
+        serialised against every query flowing through the service
+        layer (direct concurrent :meth:`query` calls that bypass the
+        lock remain unsafe).
+        """
         check_user(user, self.graph.n)
-        had_location = self.locations.has_location(user)
-        self.locations.set(user, x, y)
-        if had_location:
-            self.grid.move(user, x, y)
-            self.aggregate.move_user(user, x, y)
-        else:
-            self.grid.insert(user, x, y)
-            self.aggregate.insert_user(user, x, y)
+        with self.rw_lock.write_locked():
+            had_location = self.locations.has_location(user)
+            self.locations.set(user, x, y)
+            if had_location:
+                self.grid.move(user, x, y)
+                self.aggregate.move_user(user, x, y)
+            else:
+                self.grid.insert(user, x, y)
+                self.aggregate.insert_user(user, x, y)
+            for listener in self._location_listeners:
+                listener(user, x, y)
 
     def forget_location(self, user: int) -> None:
-        """Mark a user's location as unknown and de-index them."""
+        """Mark a user's location as unknown and de-index them
+        (exclusively, like :meth:`move_user`)."""
         check_user(user, self.graph.n)
-        if not self.locations.has_location(user):
-            return
-        self.locations.clear(user)
-        self.grid.remove(user)
-        self.aggregate.remove_user(user)
+        with self.rw_lock.write_locked():
+            if not self.locations.has_location(user):
+                return
+            self.locations.clear(user)
+            self.grid.remove(user)
+            self.aggregate.remove_user(user)
+            for listener in self._location_listeners:
+                listener(user, None, None)
 
     # -- introspection ----------------------------------------------------
 

@@ -13,6 +13,8 @@ Algorithms snapshot ``pops`` around a query to attribute costs.
 
 from __future__ import annotations
 
+import threading
+
 from repro.graph.ch import ContractionHierarchy
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
@@ -26,25 +28,40 @@ class CHOracle:
     query vertex), so the oracle materialises the source's forward CH
     search space once and answers each target with a pruned backward
     search only.
+
+    The memoised forward search space (and the pop-counting heap) is
+    kept in thread-local storage: the searchers that share one oracle
+    may run concurrently under the service layer's worker pool, and a
+    source switch by one thread must not invalidate (or corrupt) the
+    forward space another thread is still probing.
     """
 
-    __slots__ = ("ch", "_heap", "_source", "_forward")
+    __slots__ = ("ch", "_local")
 
     def __init__(self, ch: ContractionHierarchy) -> None:
         self.ch = ch
-        self._heap = MinHeap()
-        self._source: int | None = None
-        self._forward: dict[int, float] | None = None
+        self._local = threading.local()
+
+    def _state(self) -> threading.local:
+        local = self._local
+        if not hasattr(local, "heap"):
+            local.heap = MinHeap()
+            local.source = None
+            local.forward = None
+        return local
 
     def distance(self, source: int, target: int) -> float:
-        if source != self._source:
-            self._source = source
-            self._forward = self.ch.upward_distances(source, self._heap)
-        return self.ch.distance_from(self._forward, source, target, self._heap)
+        state = self._state()
+        if source != state.source:
+            state.source = source
+            state.forward = self.ch.upward_distances(source, state.heap)
+        return self.ch.distance_from(state.forward, source, target, state.heap)
 
     @property
     def pops(self) -> int:
-        return self._heap.pops
+        """Cumulative heap pops of the *calling thread's* searches (each
+        worker attributes only its own query costs)."""
+        return self._state().heap.pops
 
 
 class ALTOracle:

@@ -15,6 +15,7 @@ build cost is not charged to query statistics.
 from __future__ import annotations
 
 import math
+import threading
 import time
 
 from repro.core.ais import AggregateIndexSearch
@@ -30,7 +31,16 @@ INF = math.inf
 
 
 class SocialNeighborCache:
-    """Per-user lists of the ``t`` socially closest vertices."""
+    """Per-user lists of the ``t`` socially closest vertices.
+
+        >>> from repro import SocialNeighborCache, SocialGraph
+        >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
+        >>> cache = SocialNeighborCache(g, t=2)
+        >>> cache.list_for(0)
+        [(1.0, 1), (2.0, 2)]
+        >>> cache.is_complete(0)   # vertex 3 is reachable but truncated
+        False
+    """
 
     def __init__(self, graph: SocialGraph, t: int) -> None:
         self.graph = graph
@@ -38,6 +48,10 @@ class SocialNeighborCache:
         self._lists: dict[int, list[tuple[float, int]]] = {}
         #: True for users whose reachable component fit entirely in t
         self._complete: dict[int, bool] = {}
+        # Lazy fills may race under the service layer's worker pool; the
+        # lock makes the two-dict update atomic (lists are immutable
+        # once published, so readers never need it).
+        self._build_lock = threading.Lock()
 
     def list_for(self, user: int) -> list[tuple[float, int]]:
         """Ascending ``(distance, vertex)`` list for ``user`` (built on
@@ -45,20 +59,24 @@ class SocialNeighborCache:
         cached = self._lists.get(user)
         if cached is not None:
             return cached
-        it = DijkstraIterator(self.graph, user)
-        entries: list[tuple[float, int]] = []
-        complete = False
-        while len(entries) < self.t:
-            item = it.next()
-            if item is None:
-                complete = True
-                break
-            v, p = item
-            if v != user:
-                entries.append((p, v))
-        self._lists[user] = entries
-        self._complete[user] = complete
-        return entries
+        with self._build_lock:
+            cached = self._lists.get(user)
+            if cached is not None:
+                return cached
+            it = DijkstraIterator(self.graph, user)
+            entries: list[tuple[float, int]] = []
+            complete = False
+            while len(entries) < self.t:
+                item = it.next()
+                if item is None:
+                    complete = True
+                    break
+                v, p = item
+                if v != user:
+                    entries.append((p, v))
+            self._complete[user] = complete
+            self._lists[user] = entries
+            return entries
 
     def is_complete(self, user: int) -> bool:
         """Whether the cached list covers the user's whole reachable
@@ -76,7 +94,17 @@ class SocialNeighborCache:
 
 class CachedSocialFirst:
     """The paper's AIS-Cache: SFA over the pre-computed list with an
-    AIS fallback."""
+    AIS fallback.
+
+        >>> from repro import GeoSocialEngine, gowalla_like
+        >>> engine = GeoSocialEngine.from_dataset(gowalla_like(n=300, seed=7))
+        >>> searcher = engine.searcher("ais-cache", t=50)
+        >>> type(searcher).__name__
+        'CachedSocialFirst'
+        >>> searcher.search(0, k=5, alpha=0.3).users == engine.query(
+        ...     0, 5, 0.3, method="bruteforce").users
+        True
+    """
 
     def __init__(
         self,

@@ -35,7 +35,13 @@ _TINY = 1e-300  # guards divisions for degenerate (single-point) datasets
 @dataclass(frozen=True)
 class Normalization:
     """Per-dataset normalising constants ``P_max`` (social) and
-    ``D_max`` (spatial)."""
+    ``D_max`` (spatial).
+
+        >>> from repro import Normalization
+        >>> norm = Normalization(p_max=4.0, d_max=1.5)
+        >>> norm.p_max, norm.d_max
+        (4.0, 1.5)
+    """
 
     p_max: float
     d_max: float
@@ -71,6 +77,11 @@ class RankingFunction:
 
     The two weights are pre-divided by the normalisers, so scoring is a
     two-multiply operation in the hot loops.
+
+        >>> from repro import Normalization, RankingFunction
+        >>> rank = RankingFunction(0.5, Normalization(p_max=4.0, d_max=1.5))
+        >>> rank.score(2.0, 0.75)      # 0.5*(2/4) + 0.5*(0.75/1.5)
+        0.5
     """
 
     __slots__ = ("alpha", "normalization", "w_social", "w_spatial")

@@ -27,6 +27,11 @@ class Neighbor:
     produced ``score``; ``inf`` marks a distance that is unknown or
     irrelevant at the query's ``α`` (e.g. the social distance under
     ``α = 0`` is never computed).
+
+        >>> from repro import Neighbor
+        >>> nb = Neighbor(user=9, score=0.25, social=1.0, spatial=0.1)
+        >>> nb.user, nb.score
+        (9, 0.25)
     """
 
     user: int
@@ -45,6 +50,13 @@ class TopKBuffer:
 
     Ties on ``score`` are broken toward smaller user ids, making results
     deterministic across algorithms.
+
+        >>> from repro import TopKBuffer
+        >>> buf = TopKBuffer(2)
+        >>> for user, score in ((3, 0.5), (1, 0.2), (2, 0.4)):
+        ...     _ = buf.offer(user, score, score, score)
+        >>> [nb.user for nb in buf.neighbors()], buf.fk
+        ([1, 2], 0.4)
     """
 
     __slots__ = ("k", "_heap", "_users")
@@ -103,7 +115,14 @@ class TopKBuffer:
 
 @dataclass
 class SSRQResult:
-    """Outcome of one SSRQ query."""
+    """Outcome of one SSRQ query.
+
+        >>> from repro import Neighbor, SSRQResult
+        >>> result = SSRQResult(query_user=0, k=2, alpha=0.5,
+        ...                     neighbors=[Neighbor(9, 0.25, 1.0, 0.1)])
+        >>> result.users, result.fk, len(result)
+        ([9], 0.25, 1)
+    """
 
     query_user: int
     k: int

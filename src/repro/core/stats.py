@@ -15,7 +15,16 @@ from dataclasses import dataclass, field
 
 @dataclass
 class SearchStats:
-    """Mutable counters filled in by a single query execution."""
+    """Mutable counters filled in by a single query execution.
+
+        >>> from repro import SearchStats
+        >>> stats = SearchStats(pops_social=3, pops_spatial=2)
+        >>> stats.pops, stats.pop_ratio(10)
+        (5, 0.5)
+        >>> stats.merge(SearchStats(pops_index=5))
+        >>> stats.pops
+        10
+    """
 
     #: pops from social-domain heaps (Dijkstra / A* / CH searches)
     pops_social: int = 0

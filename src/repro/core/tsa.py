@@ -47,6 +47,15 @@ _SPATIAL = 1
 class TwofoldSearch:
     """TSA query processor.
 
+        >>> from repro import TwofoldSearch, SocialGraph, LocationTable, Normalization
+        >>> from repro.spatial.grid import UniformGrid
+        >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
+        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> tsa = TwofoldSearch(g, loc, UniformGrid.build(loc, 2),
+        ...                     Normalization(p_max=4.0, d_max=1.5))
+        >>> tsa.search(0, k=2, alpha=0.5).users
+        [1, 3]
+
     Parameters
     ----------
     landmarks:

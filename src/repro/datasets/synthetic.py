@@ -38,7 +38,15 @@ from repro.spatial.point import LocationTable
 
 @dataclass
 class GeoSocialDataset:
-    """A social graph plus a (partial) user location table."""
+    """A social graph plus a (partial) user location table.
+
+        >>> from repro import gowalla_like
+        >>> dataset = gowalla_like(n=300, seed=7)
+        >>> dataset.name, dataset.graph.n
+        ('gowalla-like', 300)
+        >>> sorted(dataset.stats()) == ['E', 'V', 'avg_degree', 'coverage', 'locations', 'name']
+        True
+    """
 
     name: str
     graph: SocialGraph
@@ -66,7 +74,13 @@ def build_dataset(
     seed: int = 0,
 ) -> GeoSocialDataset:
     """Generic builder: BA graph at the requested average degree,
-    degree-product weights, clustered locations masked to ``coverage``."""
+    degree-product weights, clustered locations masked to ``coverage``.
+
+        >>> from repro import build_dataset
+        >>> ds = build_dataset("demo", n=200, avg_degree=6.0, coverage=0.8, seed=1)
+        >>> ds.graph.n, ds.locations.n_located
+        (200, 160)
+    """
     m_attach = max(1, round(avg_degree / 2))
     raw_edges = barabasi_albert_edges(n, m_attach, seed=seed)
     weighted = degree_product_weights(n, raw_edges)
@@ -78,18 +92,33 @@ def build_dataset(
 
 
 def gowalla_like(n: int = 12_000, seed: int = 7) -> GeoSocialDataset:
-    """Gowalla stand-in: avg degree 9.7, 54.4% location coverage."""
+    """Gowalla stand-in: avg degree 9.7, 54.4% location coverage.
+
+        >>> from repro import gowalla_like
+        >>> round(gowalla_like(n=300, seed=7).locations.coverage, 3)
+        0.543
+    """
     return build_dataset("gowalla-like", n, avg_degree=9.7, coverage=0.544, seed=seed)
 
 
 def foursquare_like(n: int = 30_000, seed: int = 11) -> GeoSocialDataset:
-    """Foursquare stand-in: avg degree 9.5, 60.3% location coverage."""
+    """Foursquare stand-in: avg degree 9.5, 60.3% location coverage.
+
+        >>> from repro import foursquare_like
+        >>> foursquare_like(n=250, seed=11).name
+        'foursquare-like'
+    """
     return build_dataset("foursquare-like", n, avg_degree=9.5, coverage=0.603, seed=seed)
 
 
 def twitter_like(n: int = 8_000, seed: int = 13) -> GeoSocialDataset:
     """Twitter-SG stand-in: avg degree 57.7, full location coverage
-    (every user geo-tagged a tweet), tight urban clustering."""
+    (every user geo-tagged a tweet), tight urban clustering.
+
+        >>> from repro import twitter_like
+        >>> twitter_like(n=200, seed=13).locations.coverage
+        1.0
+    """
     return build_dataset(
         "twitter-like", n, avg_degree=57.7, coverage=1.0, clusters=20, spread=0.03, seed=seed
     )
@@ -103,7 +132,13 @@ def correlated_dataset(
     """Figure 14(a) datasets: Foursquare-like social distances with
     ``positive`` / ``independent`` / ``negative`` social-spatial
     correlation.  Returns the dataset and the anchor vertex queries
-    should be issued from."""
+    should be issued from.
+
+        >>> from repro import correlated_dataset
+        >>> dataset, anchor = correlated_dataset("positive", n=200)
+        >>> dataset.name, 0 <= anchor < dataset.graph.n
+        ('correlated-positive', True)
+    """
     base = build_dataset("correlated-base", n, avg_degree=9.5, coverage=1.0, seed=seed)
     anchor = max(range(base.graph.n), key=lambda v: (base.graph.degree(v), -v))
     if correlation == "positive":
@@ -129,7 +164,13 @@ def forest_fire_series(
     seed: int = 23,
 ) -> list[GeoSocialDataset]:
     """Figure 14(b): structure-preserving samples of ``base`` at the
-    requested vertex counts (locations carried over per user)."""
+    requested vertex counts (locations carried over per user).
+
+        >>> from repro import build_dataset, forest_fire_series
+        >>> base = build_dataset("demo", n=200, avg_degree=6.0, seed=1)
+        >>> [d.graph.n for d in forest_fire_series(base, [50, 100], seed=3)]
+        [50, 100]
+    """
     series = []
     for size in sizes:
         if size > base.graph.n:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
+from typing import Callable
 
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
@@ -102,6 +103,12 @@ class DynamicLandmarkTables:
     Holds an adjacency-dict copy of the (undirected) graph and repairs
     every landmark row on each :meth:`update_edge` call.  A rebuilt CSR
     snapshot of the current topology is available via :meth:`snapshot`.
+
+    Downstream components that derive state from social distances (most
+    prominently the service layer's result cache) can subscribe via
+    :meth:`add_update_listener`; every listener is called *after* the
+    landmark tables have been repaired, with the same ``(u, v, weight)``
+    arguments the update was applied with.
     """
 
     def __init__(self, graph: SocialGraph, landmarks: LandmarkIndex) -> None:
@@ -111,6 +118,22 @@ class DynamicLandmarkTables:
         self.n = graph.n
         self.landmarks = landmarks
         self.updates_applied = 0
+        self._listeners: list[Callable[[int, int, float | None], None]] = []
+
+    # -- invalidation hooks -------------------------------------------
+
+    def add_update_listener(self, listener: Callable[[int, int, float | None], None]) -> None:
+        """Subscribe ``listener(u, v, weight)`` to every applied edge
+        update (called after landmark repair; ``weight is None`` means
+        the edge was deleted)."""
+        self._listeners.append(listener)
+
+    def remove_update_listener(self, listener: Callable[[int, int, float | None], None]) -> None:
+        """Unsubscribe a previously added listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def update_edge(self, u: int, v: int, weight: float | None) -> None:
         """Insert, re-weight (``weight`` > 0) or delete (``weight is
@@ -131,6 +154,8 @@ class DynamicLandmarkTables:
             self._apply_increase(u, v, None)
         # weight == old: no-op
         self.updates_applied += 1
+        for listener in self._listeners:
+            listener(u, v, weight)
 
     def _apply_decrease(self, u: int, v: int, weight: float) -> None:
         self.adj[u][v] = weight

@@ -128,6 +128,22 @@ class LandmarkIndex:
         """Number of landmarks (``M`` in the paper)."""
         return len(self.landmarks)
 
+    def copy(self) -> "LandmarkIndex":
+        """Deep-copy the distance tables (same graph and landmark
+        choice, no recomputation) — lets
+        :class:`~repro.graph.dynamics.DynamicLandmarkTables` maintain a
+        companion table under edge updates without mutating the
+        original index that live queries depend on."""
+        clone = object.__new__(LandmarkIndex)
+        clone.graph = self.graph
+        clone.landmarks = list(self.landmarks)
+        clone.dist = [list(row) for row in self.dist]
+        if self.dist_rev is self.dist:
+            clone.dist_rev = clone.dist
+        else:
+            clone.dist_rev = [list(row) for row in self.dist_rev]
+        return clone
+
     def vector(self, v: int) -> tuple[float, ...]:
         """Landmark distance vector of vertex ``v`` (``m_v*``)."""
         return tuple(row[v] for row in self.dist)

@@ -25,6 +25,13 @@ class SocialGraph:
     self-loops are rejected (they can never appear on a shortest path
     with positive weights and the paper's friendship semantics exclude
     them).
+
+        >>> from repro import SocialGraph
+        >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
+        >>> g.n, g.num_edges, g.degree(0)
+        (4, 3, 2)
+        >>> sorted(g.neighbors(0))
+        [(1, 1.0), (3, 3.0)]
     """
 
     __slots__ = ("n", "indptr", "nbrs", "wts", "directed", "_num_edges", "_reverse")

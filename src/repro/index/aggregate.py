@@ -28,7 +28,16 @@ INF = math.inf
 
 
 class AggregateIndex:
-    """Multi-level grid with social summaries."""
+    """Multi-level grid with social summaries.
+
+        >>> from repro import AggregateIndex, SocialGraph, LocationTable
+        >>> from repro.graph.landmarks import LandmarkIndex
+        >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
+        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> index = AggregateIndex.build(loc, LandmarkIndex.build(g, 2, "degree", 0), s=2)
+        >>> len(list(index.tops()))   # occupied top-level cells
+        2
+    """
 
     def __init__(
         self,

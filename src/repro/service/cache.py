@@ -1,0 +1,333 @@
+"""Update-aware LRU cache of SSRQ results.
+
+Urban query workloads are heavily skewed — a small set of hot users
+issues most of the traffic — so caching whole top-k results pays off
+enormously *if* the cache can survive a dynamic world where users move
+constantly.  This module provides that: an LRU keyed on the full query
+signature ``(user, k, α, method, t, normalization)`` with hit/miss
+statistics, plus invalidation that evicts exactly the entries a given
+update can affect instead of flushing everything.
+
+**Location update of user m → exact screening.**  A move can only
+change a cached ranking in three ways, each of which the cache detects
+precisely:
+
+1. queries *issued by* ``m`` (its spatial component moved) — tracked by
+   a per-query-user key index;
+2. queries whose cached top-k *contains* ``m`` (its score changed) —
+   tracked by an inverted member → keys index;
+3. queries that ``m`` could *newly enter*: since scores are
+   ``f = α·p/P_max + (1−α)·d/D_max`` and ``p ≥ 0``, the spatial part
+   alone lower-bounds ``m``'s new score; if
+   ``(1−α)·d(q, m_new)/D_max ≥ f_k`` the entry provably cannot change
+   and survives.  Pure-social entries (``α = 1``) are never affected by
+   location updates at all.
+
+The screen costs O(cache) per update with an O(1) check per entry;
+``scan_limit`` caps that work — a larger cache falls back to an
+epoch-based full invalidation (O(1) decision, drop everything).
+
+**Social edge update (u, v) → blast radius or epoch flush.**  An edge
+change can alter social distances between arbitrarily distant pairs, so
+the conservative default is a full epoch flush; with
+``edge_blast_radius`` configured, only entries whose query user or
+cached members lie within that many social hops of either endpoint are
+evicted (pure-spatial ``α = 0`` entries are always kept — edge weights
+cannot affect them).  Note that under the service layer's default
+*companion-table* model, served results do not change until
+:meth:`QueryService.rebuild_engine` folds the updates in (which flushes
+anyway) — the per-update eviction is deliberate conservatism that also
+covers live-attached tables (``attach_dynamics`` on the engine's own
+landmark index) where repaired rows feed served bounds immediately.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.core.ranking import _TINY
+from repro.core.result import SSRQResult
+
+INF = math.inf
+
+#: cache key layout: (user, k, alpha, method, t, normalization token)
+CacheKey = tuple
+
+_KEY_K = 1
+_KEY_ALPHA = 2
+
+
+def _key_alpha(key: CacheKey) -> float | None:
+    """The α slot of a service-shaped key, or ``None`` for foreign key
+    shapes (plain LRU use) — callers treat ``None`` conservatively."""
+    return key[_KEY_ALPHA] if len(key) > _KEY_ALPHA else None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    #: LRU capacity evictions
+    evictions: int = 0
+    #: entries removed by update-aware invalidation
+    invalidated: int = 0
+    #: epoch bumps (full flushes)
+    full_invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """LRU result cache with exact update-aware invalidation.
+
+        >>> from repro.service.cache import ResultCache
+        >>> cache = ResultCache(capacity=2)
+        >>> cache.put(("a",), "result-a")
+        >>> cache.get(("a",))
+        'result-a'
+        >>> cache.get(("b",)) is None
+        True
+        >>> cache.stats.hits, cache.stats.misses
+        (1, 1)
+
+    All operations take an internal lock, so invalidation hooks may fire
+    from any thread.  Entries must be :class:`SSRQResult`-like for the
+    update-aware paths (plain values are fine for pure LRU use, as in
+    the doctest above).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        scan_limit: int | None = None,
+        edge_blast_radius: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: above this size, location screening gives way to a full flush
+        self.scan_limit = scan_limit
+        #: social-hop radius for edge invalidation (None: full flush)
+        self.edge_blast_radius = edge_blast_radius
+        self.stats = CacheStats()
+        #: monotonically increasing; bumped on every full invalidation
+        self.epoch = 0
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._by_query_user: dict[int, set[CacheKey]] = {}
+        self._by_member: dict[int, set[CacheKey]] = {}
+
+    # -- plain cache operations ---------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey):
+        """The cached result for ``key`` (refreshing its LRU position),
+        or ``None`` — counted as a hit or miss respectively."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, key: CacheKey):
+        """Like :meth:`get` but without touching LRU order or stats."""
+        return self._entries.get(key)
+
+    def put(self, key: CacheKey, result) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU tail at
+        capacity."""
+        with self._lock:
+            old = self._entries.get(key)
+            if old is not None:
+                self._drop_from_indexes(key, old)
+                self._entries.move_to_end(key)
+                self._entries[key] = result
+                self._index(key, result)
+                return
+            while len(self._entries) >= self.capacity:
+                victim, old = self._entries.popitem(last=False)
+                self._drop_from_indexes(victim, old)
+                self.stats.evictions += 1
+            self._entries[key] = result
+            self._index(key, result)
+            self.stats.insertions += 1
+
+    def _index(self, key: CacheKey, result) -> None:
+        if not isinstance(result, SSRQResult):
+            return
+        self._by_query_user.setdefault(result.query_user, set()).add(key)
+        for nb in result.neighbors:
+            self._by_member.setdefault(nb.user, set()).add(key)
+
+    def _discard_keys(self, keys: Iterable[CacheKey]) -> int:
+        removed = 0
+        for key in list(keys):
+            result = self._entries.pop(key, None)
+            if result is None:
+                continue
+            self._drop_from_indexes(key, result)
+            removed += 1
+        self.stats.invalidated += removed
+        return removed
+
+    def _drop_from_indexes(self, key: CacheKey, result) -> None:
+        if not isinstance(result, SSRQResult):
+            return
+        keys = self._by_query_user.get(result.query_user)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_query_user[result.query_user]
+        for nb in result.neighbors:
+            keys = self._by_member.get(nb.user)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_member[nb.user]
+
+    # -- update-aware invalidation ------------------------------------
+
+    def invalidate_all(self) -> int:
+        """Epoch-based full invalidation: drop every entry at once."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self._by_query_user.clear()
+            self._by_member.clear()
+            self.epoch += 1
+            self.stats.invalidated += removed
+            self.stats.full_invalidations += 1
+            return removed
+
+    def invalidate_query_user(self, user: int) -> int:
+        """Drop every cache line keyed by query user ``user``."""
+        with self._lock:
+            return self._discard_keys(self._by_query_user.get(user, ()))
+
+    def invalidate_location_update(
+        self,
+        user: int,
+        x: float | None,
+        y: float | None,
+        *,
+        query_location: Callable[[int], tuple[float, float] | None],
+        d_max: float,
+    ) -> int:
+        """Evict exactly the entries a location update can affect.
+
+        ``(x, y)`` is the user's *new* position (``None`` for a
+        forgotten location); ``query_location`` resolves a query user's
+        current position; ``d_max`` is the spatial normaliser the cached
+        scores were computed under.  Returns the number of entries
+        evicted.
+        """
+        with self._lock:
+            if self.scan_limit is not None and len(self._entries) > self.scan_limit:
+                return self.invalidate_all()
+            evict: set[CacheKey] = set()
+            for key in self._by_query_user.get(user, ()):
+                if _key_alpha(key) == 1.0:
+                    continue  # pure-social: location cannot matter
+                evict.add(key)
+            for key in self._by_member.get(user, ()):
+                if _key_alpha(key) == 1.0:
+                    continue
+                evict.add(key)
+            if x is not None:
+                # The mover may newly enter someone else's top-k; keep
+                # only entries whose spatial lower bound proves it out.
+                for key, result in self._entries.items():
+                    if key in evict:
+                        continue
+                    alpha = _key_alpha(key)
+                    if alpha == 1.0:
+                        continue
+                    if not isinstance(result, SSRQResult) or alpha is None:
+                        evict.add(key)
+                        continue
+                    if result.query_user == user:
+                        continue  # handled by the query-user index
+                    if len(result.neighbors) < key[_KEY_K]:
+                        evict.add(key)  # open slot: anyone may join
+                        continue
+                    q = query_location(result.query_user)
+                    if q is None or d_max <= 0.0:
+                        evict.add(key)
+                        continue
+                    # Mirror RankingFunction's float association exactly
+                    # (w_spatial = (1-α)/D_max, then · d): the engine's
+                    # score is fl(w_social·p + w_spatial·d) ≥ w_spatial·d
+                    # for non-negative parts, so this is a sound lower
+                    # bound.  `<=` (not `<`) covers the smaller-id
+                    # tie-break at equal scores.
+                    w_spatial = (1.0 - alpha) / max(d_max, _TINY)
+                    lower = w_spatial * math.hypot(q[0] - x, q[1] - y)
+                    if lower <= result.fk:
+                        evict.add(key)
+            return self._discard_keys(evict)
+
+    def invalidate_edge_update(
+        self,
+        u: int,
+        v: int,
+        *,
+        neighbors_of: Callable[[int], Iterable[int]] | None = None,
+    ) -> int:
+        """Invalidate after a social-edge insert/delete/re-weight.
+
+        With no configured ``edge_blast_radius`` (or no adjacency to
+        walk) this is a sound full flush; otherwise entries touching the
+        hop-ball around the endpoints are evicted (bounded staleness —
+        distance changes *can* propagate further).
+        """
+        with self._lock:
+            if self.edge_blast_radius is None or neighbors_of is None:
+                return self.invalidate_all()
+            ball = self._hop_ball((u, v), self.edge_blast_radius, neighbors_of)
+            evict: set[CacheKey] = set()
+            for member in ball:
+                for key in self._by_query_user.get(member, ()):
+                    if _key_alpha(key) == 0.0:
+                        continue  # pure-spatial: edges cannot matter
+                    evict.add(key)
+                for key in self._by_member.get(member, ()):
+                    if _key_alpha(key) == 0.0:
+                        continue
+                    evict.add(key)
+            return self._discard_keys(evict)
+
+    @staticmethod
+    def _hop_ball(
+        seeds: Iterable[int], radius: int, neighbors_of: Callable[[int], Iterable[int]]
+    ) -> set[int]:
+        ball = set(seeds)
+        frontier = deque((s, 0) for s in ball)
+        while frontier:
+            vertex, depth = frontier.popleft()
+            if depth >= radius:
+                continue
+            for nbr in neighbors_of(vertex):
+                if nbr not in ball:
+                    ball.add(nbr)
+                    frontier.append((nbr, depth + 1))
+        return ball

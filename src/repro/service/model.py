@@ -1,0 +1,173 @@
+"""Request/response model and serving statistics for the query service.
+
+The service layer speaks in small immutable dataclasses rather than
+positional arguments: a :class:`QueryRequest` carries everything one
+SSRQ needs (user, ``k``, ``α``, method, ``t``), a :class:`QueryResponse`
+pairs the request with its :class:`~repro.core.result.SSRQResult` and
+serving metadata (was it a cache hit? how long did it take?), and
+:class:`ServiceStats` aggregates latency and cache behaviour across the
+service's lifetime — including a cumulative
+:class:`~repro.core.stats.SearchStats` merged from every executed query,
+so the paper's cost metrics (heap pops, evaluations) remain observable
+at the serving layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.result import SSRQResult
+from repro.core.stats import SearchStats
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One SSRQ to serve.
+
+    Hashable and immutable, so identical requests inside a batch can be
+    deduplicated and the tuple of parameters can key the result cache.
+
+        >>> from repro.service import QueryRequest
+        >>> QueryRequest(user=42, k=10, alpha=0.3, method="ais")
+        QueryRequest(user=42, k=10, alpha=0.3, method='ais', t=None)
+        >>> QueryRequest.coerce(42, k=10) == QueryRequest(42, k=10)
+        True
+    """
+
+    user: int
+    k: int = 30
+    alpha: float = 0.3
+    method: str = "ais"
+    #: cached-list length for ``ais-cache`` (``None``: engine default)
+    t: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not 0.0 <= self.alpha <= 1.0 or math.isnan(self.alpha):
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+
+    @classmethod
+    def coerce(
+        cls,
+        item: "int | QueryRequest",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> "QueryRequest":
+        """Normalise a workload item: a plain user id takes the given
+        defaults, an existing request passes through unchanged."""
+        if isinstance(item, QueryRequest):
+            return item
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise TypeError(f"expected a user id or QueryRequest, got {item!r}")
+        return cls(item, k=k, alpha=alpha, method=method, t=t)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One served SSRQ: the result plus how it was produced.
+
+    ``cached`` marks answers taken from the result cache;
+    ``deduplicated`` marks answers shared with an identical request in
+    the same batch (computed once, returned to both).  ``latency`` is
+    the wall-clock seconds this response cost the service — ``0.0`` for
+    cache hits and duplicates.
+
+        >>> from repro import Neighbor, SSRQResult
+        >>> from repro.service import QueryRequest, QueryResponse
+        >>> result = SSRQResult(0, 1, 0.5, [Neighbor(9, 0.25, 1.0, 0.1)])
+        >>> response = QueryResponse(QueryRequest(0, k=1), result, cached=True)
+        >>> response.users, response.cached
+        ([9], True)
+    """
+
+    request: QueryRequest
+    result: SSRQResult
+    cached: bool = False
+    deduplicated: bool = False
+    latency: float = 0.0
+
+    @property
+    def users(self) -> list[int]:
+        """Ranked user ids (delegates to the result)."""
+        return self.result.users
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one :class:`~repro.service.QueryService`.
+
+        >>> from repro.service import ServiceStats
+        >>> stats = ServiceStats(cache_hits=3, cache_misses=1)
+        >>> stats.hit_rate
+        0.75
+        >>> stats.snapshot()["cache_hits"]
+        3
+    """
+
+    #: individual requests served (cache hits included)
+    requests: int = 0
+    #: `query_many` invocations
+    batches: int = 0
+    #: requests answered from the result cache
+    cache_hits: int = 0
+    #: requests that missed the cache (or ran with caching disabled)
+    cache_misses: int = 0
+    #: requests answered by sharing a duplicate within the same batch
+    deduplicated: int = 0
+    #: queries actually executed against the engine
+    executed: int = 0
+    #: cache entries evicted by update-aware invalidation
+    invalidated_entries: int = 0
+    #: epoch bumps (full cache invalidations)
+    full_invalidations: int = 0
+    #: wall-clock seconds spent executing queries (sum over queries)
+    query_seconds: float = 0.0
+    #: worst single-query execution time seen
+    max_query_seconds: float = 0.0
+    #: per-method executed-query counts
+    per_method: dict = field(default_factory=dict)
+    #: cumulative search-cost counters merged from every executed query
+    search: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over all requests (0.0 when nothing served)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def avg_query_seconds(self) -> float:
+        """Mean execution time per *executed* query."""
+        return self.query_seconds / self.executed if self.executed else 0.0
+
+    def record_execution(self, method: str, result: SSRQResult, elapsed: float) -> None:
+        """Account one engine execution (coordinator-thread only)."""
+        self.executed += 1
+        self.query_seconds += elapsed
+        if elapsed > self.max_query_seconds:
+            self.max_query_seconds = elapsed
+        self.per_method[method] = self.per_method.get(method, 0) + 1
+        self.search.merge(result.stats)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (stable keys; handy for logging/reports)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "deduplicated": self.deduplicated,
+            "executed": self.executed,
+            "invalidated_entries": self.invalidated_entries,
+            "full_invalidations": self.full_invalidations,
+            "query_seconds": self.query_seconds,
+            "avg_query_seconds": self.avg_query_seconds,
+            "max_query_seconds": self.max_query_seconds,
+            "per_method": dict(self.per_method),
+            "total_pops": self.search.pops,
+        }

@@ -1,0 +1,477 @@
+"""The traffic-serving front-end over :class:`GeoSocialEngine`.
+
+:class:`QueryService` turns the single-query engine facade into a
+component that can absorb realistic load:
+
+- **batching** — :meth:`QueryService.query_many` accepts a heterogeneous
+  batch (per-request method/α/k), deduplicates identical requests, and
+  executes the distinct remainder concurrently on a thread pool, while
+  returning responses in request order with rankings identical to a
+  sequential ``engine.query`` loop;
+- **caching** — an update-aware LRU (:mod:`repro.service.cache`) keyed
+  on the full query signature, invalidated exactly on location moves
+  and social-edge changes via the engine's and
+  :class:`~repro.graph.dynamics.DynamicLandmarkTables`' listener hooks;
+- **consistency** — the engine's readers-writer lock (``engine.rw_lock``,
+  shared by every service over the same engine) lets queries run
+  concurrently while serialising updates against in-flight queries (the
+  engine's grid/aggregate-index mutation is not safe under readers).
+
+The algorithms are read-mostly and pure-Python; a thread pool therefore
+buys latency overlap (and true parallelism on GIL-free builds) while
+the cache buys throughput on skewed workloads — see
+``benchmarks/bench_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.core.engine import GeoSocialEngine
+from repro.core.result import SSRQResult
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.model import QueryRequest, QueryResponse, ServiceStats
+
+if TYPE_CHECKING:
+    from repro.graph.dynamics import DynamicLandmarkTables
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class QueryService:
+    """Concurrent, caching SSRQ serving layer.
+
+        >>> from repro import GeoSocialEngine, gowalla_like
+        >>> from repro.service import QueryRequest, QueryService
+        >>> engine = GeoSocialEngine.from_dataset(gowalla_like(n=300, seed=7))
+        >>> service = QueryService(engine, max_workers=2, cache_size=64)
+        >>> batch = [QueryRequest(user=8, k=5), QueryRequest(user=11, k=3, alpha=0.7)]
+        >>> responses = service.query_many(batch)
+        >>> [r.cached for r in responses]
+        [False, False]
+        >>> service.query(QueryRequest(user=8, k=5)).cached   # repeat: cache hit
+        True
+        >>> service.move_user(8, 0.25, 0.75)                  # evicts user 8's line
+        >>> service.query(QueryRequest(user=8, k=5)).cached
+        False
+
+    Parameters
+    ----------
+    engine:
+        The (already built) engine to serve from.
+    max_workers:
+        Worker-pool width for batches (default: ``min(8, cpus)``).
+        ``1`` executes batches inline with no pool.
+    cache_size:
+        LRU capacity; ``0`` disables result caching entirely.
+    scan_limit, edge_blast_radius:
+        Invalidation tuning, forwarded to :class:`ResultCache`.
+    batch_dedup:
+        Compute identical in-batch requests once (default on).
+    """
+
+    def __init__(
+        self,
+        engine: GeoSocialEngine,
+        *,
+        max_workers: int | None = None,
+        cache_size: int = 1024,
+        scan_limit: int | None = None,
+        edge_blast_radius: int | None = None,
+        batch_dedup: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.engine = engine
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+        self.batch_dedup = batch_dedup
+        self.cache: ResultCache | None = (
+            ResultCache(
+                cache_size, scan_limit=scan_limit, edge_blast_radius=edge_blast_radius
+            )
+            if cache_size > 0
+            else None
+        )
+        self.stats = ServiceStats()
+        self._closed = False
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._dynamics: "DynamicLandmarkTables | None" = None
+        self._dynamics_lock = threading.Lock()
+        if self.cache is not None:
+            engine.add_location_listener(self._on_location_update)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the service: stop the worker pool, detach the
+        engine listeners, and flush the cache.  Any further serving or
+        update call raises ``RuntimeError`` (the listeners are gone, so
+        a reused service could otherwise silently serve stale
+        results)."""
+        self._closed = True
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        if self.cache is not None:
+            self.engine.remove_location_listener(self._on_location_update)
+            self.cache.invalidate_all()
+        with self._dynamics_lock:
+            if self._dynamics is not None:
+                self._dynamics.remove_update_listener(self._on_edge_update)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            # Re-checked under the pool lock: a query racing close()
+            # must not resurrect the pool after shutdown.
+            self._check_open()
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="ssrq-worker"
+                )
+            return self._pool
+
+    @contextmanager
+    def _read_locked_engine(self) -> "Iterator[GeoSocialEngine]":
+        """Hold the read side of the *current* engine's lock.
+
+        :meth:`rebuild_engine` can swap ``self.engine``; the loop
+        guarantees the lock we hold belongs to the engine we hand out
+        (a swap between the read and the acquire retries)."""
+        while True:
+            engine = self.engine
+            lock = engine.rw_lock
+            lock.acquire_read()
+            if self.engine is engine:
+                try:
+                    yield engine
+                finally:
+                    lock.release_read()
+                return
+            lock.release_read()
+
+    # -- serving -------------------------------------------------------
+
+    def _cache_key(self, request: QueryRequest, engine: GeoSocialEngine) -> CacheKey:
+        norm = engine.normalization
+        return (
+            request.user,
+            request.k,
+            request.alpha,
+            request.method,
+            request.t,
+            (norm.p_max, norm.d_max),
+        )
+
+    @staticmethod
+    def _execute(request: QueryRequest, engine: GeoSocialEngine) -> tuple[SSRQResult, float]:
+        start = time.perf_counter()
+        result = engine.query(
+            request.user,
+            k=request.k,
+            alpha=request.alpha,
+            method=request.method,
+            t=request.t,
+        )
+        return result, time.perf_counter() - start
+
+    def query(
+        self,
+        request: "int | QueryRequest",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> QueryResponse:
+        """Serve one SSRQ (cache-first); a plain user id takes the
+        keyword defaults."""
+        self._check_open()
+        req = QueryRequest.coerce(request, k=k, alpha=alpha, method=method, t=t)
+        with self._read_locked_engine() as engine:
+            if self.cache is not None:
+                key = self._cache_key(req, engine)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    with self._stats_lock:
+                        self.stats.requests += 1
+                        self.stats.cache_hits += 1
+                    return QueryResponse(req, hit, cached=True)
+            result, elapsed = self._execute(req, engine)
+            if self.cache is not None:
+                self.cache.put(key, result)
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.cache_misses += 1
+            self.stats.record_execution(req.method, result, elapsed)
+        return QueryResponse(req, result, latency=elapsed)
+
+    def query_many(
+        self,
+        requests: "Iterable[int | QueryRequest]",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> list[QueryResponse]:
+        """Serve a batch: cache lookups, in-batch deduplication, then
+        concurrent execution of the distinct remainder.
+
+        Responses come back in request order, and each ranking is
+        identical to what a sequential ``engine.query`` loop would have
+        produced (queries are read-only and deterministic; updates are
+        excluded for the duration of the batch by the engine's
+        readers-writer lock).
+        """
+        self._check_open()
+        reqs = [
+            QueryRequest.coerce(item, k=k, alpha=alpha, method=method, t=t)
+            for item in requests
+        ]
+        responses: list[QueryResponse | None] = [None] * len(reqs)
+        hits = 0
+        with self._read_locked_engine() as engine:
+            # 1. cache pass + dedup: map each distinct key to the request
+            #    indexes waiting on it.
+            pending: "dict[CacheKey, list[int]]" = {}
+            for i, req in enumerate(reqs):
+                key = self._cache_key(req, engine)
+                if self.cache is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        responses[i] = QueryResponse(req, hit, cached=True)
+                        hits += 1
+                        continue
+                if not self.batch_dedup:
+                    key = key + (i,)
+                pending.setdefault(key, []).append(i)
+
+            # 2. execute the distinct remainder (concurrently when the
+            #    batch and the pool allow it).
+            work = [(key, reqs[indexes[0]]) for key, indexes in pending.items()]
+            if len(work) > 1 and self.max_workers > 1:
+                executed = list(
+                    self._executor().map(
+                        lambda req: self._execute(req, engine),
+                        [req for _, req in work],
+                    )
+                )
+            else:
+                executed = [self._execute(req, engine) for _, req in work]
+
+            # 3. fan results back out in request order.
+            for (key, req), (result, elapsed) in zip(work, executed):
+                if self.cache is not None:
+                    self.cache.put(key if self.batch_dedup else key[:-1], result)
+                indexes = pending[key]
+                responses[indexes[0]] = QueryResponse(req, result, latency=elapsed)
+                for j in indexes[1:]:
+                    responses[j] = QueryResponse(reqs[j], result, deduplicated=True)
+                with self._stats_lock:
+                    self.stats.record_execution(req.method, result, elapsed)
+                    self.stats.deduplicated += len(indexes) - 1
+
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.requests += len(reqs)
+            self.stats.cache_hits += hits
+            self.stats.cache_misses += len(reqs) - hits
+        return responses  # type: ignore[return-value]
+
+    # -- updates -------------------------------------------------------
+
+    def move_user(self, user: int, x: float, y: float) -> None:
+        """Apply a location update exclusively (no queries in flight)
+        and invalidate exactly the affected cache entries.
+
+        Delegates to :meth:`GeoSocialEngine.move_user`, which takes the
+        engine lock's exclusive side itself — so direct engine updates
+        are serialised (and invalidate the cache) identically."""
+        self._check_open()
+        self.engine.move_user(user, x, y)
+
+    def forget_location(self, user: int) -> None:
+        """Forget a user's location (exclusive), with invalidation."""
+        self._check_open()
+        self.engine.forget_location(user)
+
+    @property
+    def dynamics(self) -> "DynamicLandmarkTables":
+        """The dynamic landmark-maintenance companion (created and wired
+        to cache invalidation on first use).
+
+        It operates on a *copy* of the engine's landmark tables: live
+        queries keep using bounds that are admissible for the graph the
+        engine actually searches, while the companion accumulates the
+        repaired topology for the next :meth:`rebuild_engine`.
+        """
+        if self._dynamics is None:
+            from repro.graph.dynamics import DynamicLandmarkTables
+
+            with self._dynamics_lock:
+                if self._dynamics is None:
+                    self._attach_dynamics_locked(
+                        DynamicLandmarkTables(
+                            self.engine.graph, self.engine.landmarks.copy()
+                        )
+                    )
+        return self._dynamics
+
+    def attach_dynamics(self, tables: "DynamicLandmarkTables") -> None:
+        """Subscribe the result cache to an existing
+        :class:`DynamicLandmarkTables`' edge updates.
+
+        If ``tables`` wraps the engine's own :class:`LandmarkIndex`
+        (rather than a :meth:`~repro.graph.landmarks.LandmarkIndex.copy`),
+        every applied update mutates the live landmark rows while the
+        engine's CSR graph stays unchanged — landmark bounds then stop
+        being admissible and pruning methods can return wrong results.
+        Prefer the :attr:`dynamics` property, which wires a companion
+        copy.
+        """
+        with self._dynamics_lock:
+            self._attach_dynamics_locked(tables)
+
+    def _attach_dynamics_locked(self, tables: "DynamicLandmarkTables") -> None:
+        if self._dynamics is not None:
+            self._dynamics.remove_update_listener(self._on_edge_update)
+        self._dynamics = tables
+        tables.add_update_listener(self._on_edge_update)
+
+    def update_edge(self, u: int, v: int, weight: float | None) -> None:
+        """Record a social-edge update: maintain the companion landmark
+        tables incrementally and invalidate the result cache.
+
+        Served answers stay exact with respect to the engine's
+        *indexed* graph — edge updates accumulate in :attr:`dynamics`
+        (the paper's Section 5.1 batching model: graph updates are far
+        rarer than location updates) until :meth:`rebuild_engine` folds
+        them into a fresh engine.
+        """
+        self._check_open()
+        tables = self.dynamics
+        with self.engine.rw_lock.write_locked():
+            tables.update_edge(u, v, weight)
+
+    def rebuild_engine(self, **engine_kwargs) -> GeoSocialEngine:
+        """Fold every edge update applied through :meth:`update_edge`
+        into a fresh engine and swap it in.
+
+        Builds a new :class:`GeoSocialEngine` from the dynamics
+        snapshot (current topology) with the old engine's parameters
+        (override any via ``engine_kwargs``), flushes the cache, swaps
+        the engine in, and re-anchors the dynamics companion on it.
+        The expensive build (landmark Dijkstras, index construction)
+        runs *outside* the lock — only the snapshot and the swap hold
+        the exclusive side, so queries stall for milliseconds, not the
+        whole rebuild; an edge update that slips in mid-build triggers
+        a re-snapshot.  Returns the new engine.
+        """
+        self._check_open()
+        tables = self.dynamics
+        from repro.graph.dynamics import DynamicLandmarkTables
+
+        old = self.engine
+        kwargs = dict(
+            num_landmarks=old.landmarks.m,
+            landmark_strategy=old.landmark_strategy,
+            s=old.s,
+            seed=old.seed,
+            normalization=old.normalization,
+            default_t=old.default_t,
+        )
+        kwargs.update(engine_kwargs)
+        while True:
+            with old.rw_lock.write_locked():
+                graph = tables.snapshot()
+                version = tables.updates_applied
+            new_engine = GeoSocialEngine(graph, old.locations, **kwargs)
+            with old.rw_lock.write_locked():
+                if tables.updates_applied != version:
+                    continue  # an edge update interleaved: re-snapshot
+                if self.cache is not None:
+                    old.remove_location_listener(self._on_location_update)
+                    new_engine.add_location_listener(self._on_location_update)
+                    self.cache.invalidate_all()
+                self.engine = new_engine
+                with self._dynamics_lock:
+                    self._attach_dynamics_locked(
+                        DynamicLandmarkTables(
+                            new_engine.graph, new_engine.landmarks.copy()
+                        )
+                    )
+                return new_engine
+
+    # -- invalidation listeners (fire inside the update's write lock
+    #    when driven through this service; the cache takes its own lock
+    #    so direct engine updates stay safe too) -----------------------
+
+    def _on_location_update(self, user: int, x: float | None, y: float | None) -> None:
+        if self.cache is None:
+            return
+        before = self.cache.stats.full_invalidations
+        evicted = self.cache.invalidate_location_update(
+            user,
+            x,
+            y,
+            query_location=self.engine.locations.get,
+            d_max=self.engine.normalization.d_max,
+        )
+        with self._stats_lock:
+            self.stats.invalidated_entries += evicted
+            self.stats.full_invalidations += self.cache.stats.full_invalidations - before
+
+    def _on_edge_update(self, u: int, v: int, weight: float | None) -> None:
+        if self.cache is None:
+            return
+        before = self.cache.stats.full_invalidations
+        evicted = self.cache.invalidate_edge_update(
+            u, v, neighbors_of=lambda vertex: (nbr for nbr, _ in self.engine.graph.neighbors(vertex))
+        )
+        with self._stats_lock:
+            self.stats.invalidated_entries += evicted
+            self.stats.full_invalidations += self.cache.stats.full_invalidations - before
+
+    # -- introspection -------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Cache statistics snapshot (empty dict when caching is off)."""
+        if self.cache is None:
+            return {}
+        stats = self.cache.stats
+        return {
+            "size": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "evictions": stats.evictions,
+            "invalidated": stats.invalidated,
+            "full_invalidations": stats.full_invalidations,
+            "epoch": self.cache.epoch,
+        }
+
+    def __repr__(self) -> str:
+        cache = len(self.cache) if self.cache is not None else "off"
+        return (
+            f"QueryService(workers={self.max_workers}, cache={cache}, "
+            f"served={self.stats.requests})"
+        )

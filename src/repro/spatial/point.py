@@ -23,7 +23,15 @@ def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
 
 @dataclass(frozen=True)
 class BBox:
-    """Axis-aligned bounding rectangle ``[minx, maxx] x [miny, maxy]``."""
+    """Axis-aligned bounding rectangle ``[minx, maxx] x [miny, maxy]``.
+
+        >>> from repro import BBox
+        >>> box = BBox(0.0, 0.0, 2.0, 1.0)
+        >>> box.contains(1.0, 0.5), box.mindist(3.0, 0.5)
+        (True, 1.0)
+        >>> round(box.diagonal, 4)
+        2.2361
+    """
 
     minx: float
     miny: float
@@ -96,8 +104,16 @@ class LocationTable:
 
     Coordinates are stored in two flat lists indexed by user id; a
     missing location is a ``NaN`` pair.  The table is mutable —
-    :meth:`move` supports the dynamic-location setting of the paper —
+    :meth:`set` supports the dynamic-location setting of the paper —
     and cheap to snapshot.
+
+        >>> from repro import LocationTable
+        >>> table = LocationTable.empty(3)
+        >>> table.set(0, 0.1, 0.2); table.set(1, 0.4, 0.6)
+        >>> table.n_located, round(table.distance(0, 1), 3)
+        (2, 0.5)
+        >>> table.distance(0, 2)   # user 2 has no location
+        inf
     """
 
     __slots__ = ("xs", "ys", "_n_located")

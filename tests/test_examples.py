@@ -33,6 +33,7 @@ def test_examples_exist():
         "companion_recommendation.py",
         "location_updates.py",
         "algorithm_comparison.py",
+        "service_quickstart.py",
     } <= present
 
 
@@ -55,3 +56,11 @@ def test_location_updates_runs():
     out = run_example("location_updates.py")
     assert "matches brute force: True" in out
     assert "disabled location sharing" in out
+
+
+def test_service_quickstart_runs():
+    out = run_example("service_quickstart.py")
+    assert "cache hit rate" in out
+    assert "batched rankings identical to sequential engine.query: True" in out
+    assert "verified against brute force: True" in out
+    assert "epoch-based full invalidation" in out

@@ -19,12 +19,13 @@ SUBPACKAGES = [
     "repro.topk",
     "repro.datasets",
     "repro.bench",
+    "repro.service",
     "repro.utils",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_all_exports_resolve():

@@ -1,0 +1,589 @@
+"""Service layer: batching, concurrency, and the update-aware cache.
+
+The contracts pinned here are the ones the serving layer sells:
+batched results identical to a sequential ``engine.query`` loop for
+every method, cache invalidation that is *exact* under location
+updates (surviving entries still verify against brute force), and no
+shared-state corruption under a worker pool.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.engine import METHODS, GeoSocialEngine
+from repro.service import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ReadWriteLock,
+    ResultCache,
+)
+from repro.bench.service_workload import zipf_arrivals
+from tests.conftest import assert_same_scores, random_instance
+
+
+@pytest.fixture()
+def engine():
+    graph, locations = random_instance(150, seed=71, coverage=0.8)
+    return GeoSocialEngine(graph, locations, num_landmarks=3, s=3, seed=3)
+
+
+def located(engine, count):
+    return list(engine.locations.located_users())[:count]
+
+
+# ---------------------------------------------------------------- requests
+
+
+def test_request_coercion_and_validation():
+    assert QueryRequest.coerce(7, k=5) == QueryRequest(7, k=5)
+    req = QueryRequest(3, k=2, alpha=0.9, method="sfa")
+    assert QueryRequest.coerce(req) is req
+    with pytest.raises(TypeError):
+        QueryRequest.coerce("seven")
+    with pytest.raises(TypeError):
+        QueryRequest.coerce(True)
+    with pytest.raises(ValueError):
+        QueryRequest(1, k=0)
+    with pytest.raises(ValueError):
+        QueryRequest(1, alpha=1.5)
+
+
+# ---------------------------------------------------------------- batching
+
+
+def test_query_many_matches_sequential_for_every_method(engine):
+    users = located(engine, 4)
+    with QueryService(engine, max_workers=3, cache_size=0) as service:
+        for method in METHODS:
+            requests = [
+                QueryRequest(user=u, k=k, alpha=alpha, method=method)
+                for u in users
+                for k, alpha in ((3, 0.3), (8, 0.7))
+            ]
+            responses = service.query_many(requests)
+            assert len(responses) == len(requests)
+            for response, request in zip(responses, requests):
+                expected = engine.query(
+                    request.user, request.k, request.alpha, request.method
+                )
+                assert response.request == request
+                # Byte-identical ranking: same users, same scores.
+                assert response.result.users == expected.users
+                assert response.result.scores == expected.scores
+
+
+def test_query_many_accepts_plain_user_ids_with_defaults(engine):
+    users = located(engine, 5)
+    with QueryService(engine, max_workers=2, cache_size=0) as service:
+        responses = service.query_many(users, k=4, alpha=0.5, method="sfa")
+    for response, user in zip(responses, users):
+        expected = engine.query(user, 4, 0.5, "sfa")
+        assert response.result.users == expected.users
+
+
+def test_query_many_heterogeneous_batch_preserves_order(engine):
+    users = located(engine, 6)
+    requests = [
+        QueryRequest(users[0], k=2, alpha=0.0, method="spa"),
+        QueryRequest(users[1], k=5, alpha=1.0, method="sfa"),
+        QueryRequest(users[2], k=3, alpha=0.4, method="ais"),
+        QueryRequest(users[3], k=4, alpha=0.6, method="tsa"),
+        QueryRequest(users[4], k=3, alpha=0.4, method="bruteforce"),
+    ]
+    with QueryService(engine, max_workers=4, cache_size=16) as service:
+        responses = service.query_many(requests)
+    assert [r.request for r in responses] == requests
+    for response in responses:
+        req = response.request
+        expected = engine.query(req.user, req.k, req.alpha, req.method)
+        assert response.result.users == expected.users
+
+
+def test_in_batch_deduplication(engine):
+    user = located(engine, 1)[0]
+    req = QueryRequest(user, k=3, alpha=0.3)
+    with QueryService(engine, max_workers=2, cache_size=0) as service:
+        responses = service.query_many([req, req, req])
+        assert service.stats.executed == 1
+        assert service.stats.deduplicated == 2
+    assert [r.deduplicated for r in responses] == [False, True, True]
+    # All three share the identical (deterministic) ranking.
+    assert len({tuple(r.result.users) for r in responses}) == 1
+
+
+def test_engine_query_many_delegate(engine):
+    users = located(engine, 5)
+    results = engine.query_many(users, k=4, alpha=0.3, method="ais")
+    for user, result in zip(users, results):
+        expected = engine.query(user, 4, 0.3, "ais")
+        assert result.users == expected.users
+        assert result.scores == expected.scores
+    # Mixed request batches flow through too.
+    mixed = engine.query_many([users[0], QueryRequest(users[1], k=2, alpha=0.8)])
+    assert len(mixed[1]) <= 2
+
+
+# ---------------------------------------------------------------- caching
+
+
+def test_cache_hit_on_repeat_and_stats(engine):
+    user = located(engine, 1)[0]
+    with QueryService(engine, max_workers=1, cache_size=32) as service:
+        first = service.query(user, k=5)
+        again = service.query(user, k=5)
+        other_k = service.query(user, k=6)
+        info = service.cache_info()
+    assert not first.cached and again.cached and not other_k.cached
+    assert again.result.users == first.result.users
+    assert service.stats.cache_hits == 1
+    assert service.stats.cache_misses == 2
+    assert 0.0 < service.stats.hit_rate < 1.0
+    assert info["size"] == 2 and info["hits"] == 1
+
+
+def test_cache_key_separates_parameters(engine):
+    user = located(engine, 1)[0]
+    with QueryService(engine, cache_size=32) as service:
+        service.query(user, k=5, alpha=0.3, method="ais")
+        assert not service.query(user, k=5, alpha=0.4, method="ais").cached
+        assert not service.query(user, k=5, alpha=0.3, method="sfa").cached
+        assert service.query(user, k=5, alpha=0.3, method="ais").cached
+
+
+def test_lru_eviction_at_capacity(engine):
+    users = located(engine, 6)
+    with QueryService(engine, cache_size=3) as service:
+        for user in users:
+            service.query(user, k=3)
+        assert len(service.cache) == 3
+        assert service.cache.stats.evictions == 3
+        # The most recent three are cached; the oldest are gone.
+        assert service.query(users[-1], k=3).cached
+        assert not service.query(users[0], k=3).cached
+
+
+def test_move_evicts_movers_own_line(engine):
+    user = located(engine, 1)[0]
+    with QueryService(engine, cache_size=32) as service:
+        service.query(user, k=5, alpha=0.4)
+        service.move_user(user, 0.9, 0.9)
+        refreshed = service.query(user, k=5, alpha=0.4)
+        assert not refreshed.cached
+        truth = engine.query(user, 5, 0.4, "bruteforce")
+        assert_same_scores(refreshed.result, truth)
+
+
+def test_move_evicts_entries_containing_the_mover(engine):
+    users = located(engine, 8)
+    with QueryService(engine, cache_size=64) as service:
+        responses = {u: service.query(u, k=5, alpha=0.4) for u in users}
+        # Pick a user that appears in someone else's cached top-k.
+        mover, affected_query = next(
+            (nb.user, q)
+            for q, resp in responses.items()
+            for nb in resp.result.neighbors
+            if nb.user != q
+        )
+        service.move_user(mover, 0.99, 0.99)
+        refreshed = service.query(affected_query, k=5, alpha=0.4)
+        assert not refreshed.cached, "entries containing the mover must be evicted"
+        truth = engine.query(affected_query, 5, 0.4, "bruteforce")
+        assert_same_scores(refreshed.result, truth)
+
+
+def test_surviving_cache_entries_stay_exact_under_random_moves(engine):
+    """The exactness property behind the screening invalidation: after
+    arbitrary interleaved moves, every cache entry the screen *kept*
+    must still match a fresh brute-force answer."""
+    rng = random.Random(17)
+    users = located(engine, 20)
+    with QueryService(engine, cache_size=256) as service:
+        for round_no in range(6):
+            for u in users:
+                service.query(u, k=4, alpha=rng.choice([0.2, 0.5, 1.0]))
+            for _ in range(5):
+                mover = rng.randrange(engine.graph.n)
+                service.move_user(mover, rng.random(), rng.random())
+            # Audit every surviving entry against brute force.
+            for key, cached in list(service.cache._entries.items()):
+                _, k, alpha = key[0], key[1], key[2]
+                truth = engine.query(cached.query_user, k, alpha, "bruteforce")
+                assert_same_scores(cached, truth)
+        assert service.stats.invalidated_entries > 0
+
+
+def test_forget_location_eviction(engine):
+    users = located(engine, 6)
+    with QueryService(engine, cache_size=64) as service:
+        responses = {u: service.query(u, k=5, alpha=0.4) for u in users}
+        leaver, affected_query = next(
+            (nb.user, q)
+            for q, resp in responses.items()
+            for nb in resp.result.neighbors
+            if nb.user != q and q != resp.result.neighbors[0].user
+        )
+        service.forget_location(leaver)
+        refreshed = service.query(affected_query, k=5, alpha=0.4)
+        assert not refreshed.cached
+        assert leaver not in refreshed.result.users
+
+
+def test_pure_social_entries_survive_location_updates(engine):
+    user = located(engine, 1)[0]
+    other = located(engine, 2)[1]
+    with QueryService(engine, cache_size=32) as service:
+        service.query(user, k=5, alpha=1.0, method="sfa")
+        service.move_user(other, 0.1, 0.1)
+        service.move_user(user, 0.8, 0.2)
+        # alpha=1 rankings are purely social: both moves are irrelevant.
+        assert service.query(user, k=5, alpha=1.0, method="sfa").cached
+
+
+def test_edge_update_full_flush_by_default(engine):
+    users = located(engine, 4)
+    with QueryService(engine, cache_size=64) as service:
+        for u in users:
+            service.query(u, k=4, alpha=0.5)
+        assert len(service.cache) == len(users)
+        u, v = users[0], users[1]
+        service.update_edge(u, v, 0.01)
+        assert len(service.cache) == 0
+        assert service.cache.epoch == 1
+        assert service.stats.full_invalidations == 1
+
+
+def test_edge_update_blast_radius_scopes_eviction(engine):
+    users = located(engine, 10)
+    with QueryService(engine, cache_size=64, edge_blast_radius=1) as service:
+        for u in users:
+            service.query(u, k=3, alpha=1.0, method="sfa")
+        u, v = users[0], users[1]
+        before = len(service.cache)
+        service.update_edge(u, v, 0.2)
+        after = len(service.cache)
+        assert after < before, "endpoint cache lines must be evicted"
+        assert service.cache.epoch == 0, "blast-radius path must not epoch-flush"
+        assert not service.query(u, k=3, alpha=1.0, method="sfa").cached
+
+
+def test_scan_limit_falls_back_to_epoch_flush(engine):
+    users = located(engine, 8)
+    with QueryService(engine, cache_size=64, scan_limit=2) as service:
+        for u in users:
+            service.query(u, k=3, alpha=0.4)
+        service.move_user(users[0], 0.5, 0.5)
+        assert len(service.cache) == 0
+        assert service.cache.epoch == 1
+
+
+def test_direct_engine_updates_still_invalidate(engine):
+    """Updates applied straight to the engine (bypassing the service)
+    must reach the cache through the engine's listener hooks."""
+    user = located(engine, 1)[0]
+    with QueryService(engine, cache_size=32) as service:
+        service.query(user, k=5, alpha=0.4)
+        engine.move_user(user, 0.42, 0.42)
+        assert not service.query(user, k=5, alpha=0.4).cached
+
+
+def test_close_flushes_and_rejects_further_use(engine):
+    user = located(engine, 1)[0]
+    service = QueryService(engine, cache_size=32)
+    service.query(user, k=5)
+    service.close()
+    # The cache is flushed (its listeners are gone, so keeping entries
+    # would mean serving stale results) and every entry point raises.
+    assert len(service.cache) == 0
+    for call in (
+        lambda: service.query(user, k=5),
+        lambda: service.query_many([user], k=5),
+        lambda: service.move_user(user, 0.3, 0.3),
+        lambda: service.update_edge(0, 1, 0.5),
+        lambda: service.rebuild_engine(),
+    ):
+        with pytest.raises(RuntimeError):
+            call()
+    # Listeners are detached: direct engine updates no longer touch it.
+    before = service.cache.stats.invalidated
+    engine.move_user(user, 0.3, 0.3)
+    assert service.cache.stats.invalidated == before
+
+
+def test_services_share_the_engines_lock(engine):
+    """Updates through one service (or the bare engine) must exclude
+    queries through every other service over the same engine."""
+    users = located(engine, 8)
+    failures: list[str] = []
+    with QueryService(engine, cache_size=64) as svc_a, QueryService(
+        engine, cache_size=0
+    ) as svc_b:
+
+        def reader() -> None:
+            rng = random.Random(3)
+            for _ in range(30):
+                for response in svc_a.query_many(
+                    [QueryRequest(rng.choice(users), k=4, alpha=0.4) for _ in range(3)]
+                ):
+                    ranked = response.result.users
+                    if len(ranked) != len(set(ranked)):
+                        failures.append(f"duplicates: {ranked}")
+
+        def writer() -> None:
+            rng = random.Random(4)
+            for _ in range(30):
+                svc_b.move_user(rng.randrange(engine.graph.n), rng.random(), rng.random())
+                engine.move_user(rng.randrange(engine.graph.n), rng.random(), rng.random())
+
+        threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures[:3]
+        for u in users[:3]:
+            got = svc_a.query(u, k=4, alpha=0.4)
+            truth = engine.query(u, 4, 0.4, "bruteforce")
+            assert_same_scores(got.result, truth)
+
+
+# ---------------------------------------------------------------- cache unit
+
+
+def test_result_cache_refresh_reindexes_members():
+    """Refreshing a key with a different result must swap the inverted
+    indexes, or later invalidation misses the new members."""
+    from repro.core.result import Neighbor, SSRQResult
+
+    cache = ResultCache(capacity=4)
+    key = (0, 1, 0.5, "ais", None, (1.0, 1.0))
+    cache.put(key, SSRQResult(0, 1, 0.5, [Neighbor(5, 0.2, 0.1, 0.1)]))
+    cache.put(key, SSRQResult(0, 1, 0.5, [Neighbor(9, 0.2, 0.1, 0.1)]))
+    evicted = cache.invalidate_location_update(
+        9, 100.0, 100.0, query_location=lambda u: (0.0, 0.0), d_max=1.0
+    )
+    assert evicted == 1, "entry containing refreshed member 9 must be evicted"
+    assert len(cache) == 0
+
+
+def test_engine_query_many_honors_changed_max_workers(engine):
+    users = located(engine, 3)
+    engine.query_many(users, k=3, max_workers=2)
+    assert engine._services[2].max_workers == 2
+    engine.query_many(users, k=3, max_workers=1)
+    assert engine._services[1].max_workers == 1
+    # Earlier widths keep their (possibly in-flight) services alive.
+    assert set(engine._services) == {1, 2}
+    engine.query_many(users, k=3)  # default width gets its own entry
+    assert None in engine._services
+
+
+def test_edge_updates_do_not_corrupt_live_queries(engine):
+    """update_edge maintains a *companion* landmark table: the engine's
+    own bounds must stay admissible for the graph it still searches."""
+    users = located(engine, 6)
+    with QueryService(engine, cache_size=32) as service:
+        # A batch of weight decreases: applied in place, these would
+        # make the live landmark rows underestimate nothing but
+        # *overestimate* distances on the un-updated CSR graph, turning
+        # the pruning bounds inadmissible.
+        applied = 0
+        for u in range(engine.graph.n):
+            for v, w in engine.graph.neighbors(u):
+                if u < v and applied < 15:
+                    service.update_edge(u, v, w * 0.01)
+                    applied += 1
+        assert applied == 15
+        for q in users:
+            got = engine.query(q, 5, 0.5, "ais")
+            truth = engine.query(q, 5, 0.5, "bruteforce")
+            assert_same_scores(got, truth)
+        # Folding the updates in yields a consistent *new* engine whose
+        # answers reflect the strengthened ties.
+        new_engine = service.rebuild_engine()
+        assert service.engine is new_engine
+        assert new_engine is not engine
+        for q in users:
+            got = new_engine.query(q, 5, 0.5, "ais")
+            truth = new_engine.query(q, 5, 0.5, "bruteforce")
+            assert_same_scores(got, truth)
+
+
+def test_cache_invalidation_survives_foreign_key_shapes():
+    """Plain-LRU entries (blessed by the class docstring) must not
+    crash the update-aware invalidation paths."""
+    cache = ResultCache(capacity=4)
+    cache.put(("a",), "result-a")
+    evicted = cache.invalidate_location_update(
+        5, 0.1, 0.2, query_location=lambda u: (0.0, 0.0), d_max=1.0
+    )
+    assert evicted == 1  # foreign shapes are evicted conservatively
+    cache.put(("b",), "result-b")
+    assert cache.invalidate_edge_update(0, 1) == 1  # full flush path
+
+
+def test_result_cache_plain_lru_semantics():
+    cache = ResultCache(capacity=2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    assert cache.get(("a",)) == 1  # refreshes "a"
+    cache.put(("c",), 3)  # evicts LRU "b"
+    assert cache.get(("b",)) is None
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.invalidate_all() == 2
+    assert cache.epoch == 1 and len(cache) == 0
+
+
+# ---------------------------------------------------------------- concurrency
+
+
+def test_concurrent_batches_match_sequential(engine):
+    """Hammer one service from many threads; every response must equal
+    the sequential answer (no shared-state corruption)."""
+    users = located(engine, 12)
+    expected = {
+        (u, k, alpha, method): engine.query(u, k, alpha, method)
+        for u in users
+        for (k, alpha, method) in ((3, 0.3, "ais"), (5, 0.7, "tsa"), (4, 0.5, "sfa-ch"))
+    }
+    errors: list[str] = []
+    with QueryService(engine, max_workers=4, cache_size=64) as service:
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            for _ in range(12):
+                keys = rng.sample(sorted(expected), 5)
+                requests = [QueryRequest(u, k, a, m) for (u, k, a, m) in keys]
+                responses = service.query_many(requests)
+                for key, response in zip(keys, responses):
+                    if response.result.users != expected[key].users:
+                        errors.append(f"{key}: {response.result.users}")
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not errors, errors[:5]
+
+
+def test_concurrent_queries_and_updates_no_corruption(engine):
+    """Writers (moves) interleave with readers (batches): the RW lock
+    must keep the indexes consistent and the answers exact afterwards."""
+    users = located(engine, 10)
+    stop = threading.Event()
+    failures: list[str] = []
+    with QueryService(engine, max_workers=3, cache_size=128) as service:
+
+        def reader(seed: int) -> None:
+            rng = random.Random(seed)
+            while not stop.is_set():
+                batch = [QueryRequest(rng.choice(users), k=4, alpha=0.4) for _ in range(4)]
+                for response in service.query_many(batch):
+                    ranked = response.result.users
+                    if len(ranked) != len(set(ranked)):
+                        failures.append(f"duplicate users in ranking: {ranked}")
+                    scores = response.result.scores
+                    if scores != sorted(scores):
+                        failures.append(f"unsorted scores: {scores}")
+
+        def writer() -> None:
+            rng = random.Random(99)
+            for _ in range(40):
+                service.move_user(rng.randrange(engine.graph.n), rng.random(), rng.random())
+
+        readers = [threading.Thread(target=reader, args=(s,)) for s in range(3)]
+        for t in readers:
+            t.start()
+        wt = threading.Thread(target=writer)
+        wt.start()
+        wt.join()
+        stop.set()
+        for t in readers:
+            t.join()
+
+        assert not failures, failures[:5]
+        # Post-condition: indexes consistent, fresh answers exact.
+        for u in users[:4]:
+            got = service.query(u, k=5, alpha=0.5)
+            truth = engine.query(u, 5, 0.5, "bruteforce")
+            assert_same_scores(got.result, truth)
+
+
+def test_lazy_searcher_construction_is_race_free():
+    graph, locations = random_instance(80, seed=5, coverage=1.0)
+    engine = GeoSocialEngine(graph, locations, num_landmarks=2, s=3, seed=1)
+    user = next(iter(locations.located_users()))
+    results: list = []
+
+    def build(method: str) -> None:
+        results.append((method, engine.query(user, 3, 0.5, method).users))
+
+    threads = [
+        threading.Thread(target=build, args=(m,))
+        for m in ("ais", "ais", "sfa-ch", "sfa-ch", "ais-cache", "ais-cache")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    by_method: dict[str, set[tuple]] = {}
+    for method, users_ in results:
+        by_method.setdefault(method, set()).add(tuple(users_))
+    for method, outcomes in by_method.items():
+        assert len(outcomes) == 1, f"non-deterministic {method}: {outcomes}"
+    # Exactly one searcher instance per method key survives.
+    assert len([k for k in engine._searchers if k.startswith("ais-cache")]) == 1
+
+
+# ---------------------------------------------------------------- primitives
+
+
+def test_read_write_lock_excludes_writers():
+    lock = ReadWriteLock()
+    log: list[str] = []
+    with lock.read_locked():
+        writer_started = threading.Event()
+
+        def write() -> None:
+            writer_started.set()
+            with lock.write_locked():
+                log.append("write")
+
+        t = threading.Thread(target=write)
+        t.start()
+        writer_started.wait()
+        log.append("read-held")
+    t.join()
+    assert log == ["read-held", "write"]
+
+
+def test_zipf_arrivals_deterministic_and_skewed():
+    users = list(range(100))
+    a = zipf_arrivals(users, count=500, skew=1.2, seed=9)
+    b = zipf_arrivals(users, count=500, skew=1.2, seed=9)
+    assert a == b
+    counts = sorted(
+        (a.count(u) for u in set(a)), reverse=True
+    )
+    # Skew: the hottest user dominates the median one.
+    assert counts[0] >= 5 * max(counts[len(counts) // 2], 1) or counts[0] > 25
+    with pytest.raises(ValueError):
+        zipf_arrivals([], 5)
+
+
+def test_service_stats_snapshot_shape(engine):
+    user = located(engine, 1)[0]
+    with QueryService(engine, cache_size=8) as service:
+        service.query(user, k=3)
+        snap = service.stats.snapshot()
+    for key in ("requests", "hit_rate", "executed", "per_method", "total_pops"):
+        assert key in snap
+    assert snap["per_method"] == {"ais": 1}
+    assert snap["total_pops"] > 0
+    assert isinstance(repr(service), str) and "QueryService" in repr(service)
