@@ -1,0 +1,139 @@
+"""Sharded engine scaling: throughput and pruned-shard fraction versus
+shard count on the Zipf-skewed service workload.
+
+Not a paper figure — this benchmarks `repro.shard`'s scatter-gather
+engine. Each case serves the same arrival sequence (no result cache);
+the interesting numbers are the speedup over the 1-shard configuration
+and the pruning rate the shard-level MINF bound achieves.
+
+Run as pytest-benchmark cases::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharded_scaling.py
+
+or standalone (prints the scaling table and asserts the acceptance
+gates: nonzero pruning always; >=1.5x at 4 shards whenever the machine
+has the >=4 cores that give shard parallelism real margin)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.sharded_workload import (
+    build_sharded_engine,
+    run_sharded_point,
+    sharded_scaling,
+)
+from repro.bench.service_workload import zipf_arrivals
+from repro.bench.workloads import get_bundle
+
+SHARD_CASES = [1, 2, 4, 8]
+
+
+def _workload(profile):
+    bundle = get_bundle("gowalla", profile)
+    located = list(bundle.dataset.locations.located_users())
+    arrivals = zipf_arrivals(
+        located, count=max(profile.queries * 25, 100), skew=1.1, seed=profile.seed
+    )
+    return bundle, arrivals
+
+
+@pytest.mark.parametrize("shards", SHARD_CASES)
+def test_sharded_throughput(benchmark, profile, shards):
+    bundle, arrivals = _workload(profile)
+    engine = build_sharded_engine(
+        bundle.dataset,
+        shards,
+        profile=profile,
+        landmarks=bundle.engine.landmarks,
+        normalization=bundle.engine.normalization,
+    )
+    try:
+        point = benchmark.pedantic(
+            run_sharded_point,
+            args=(engine, arrivals),
+            kwargs=dict(k=profile.default_k, alpha=profile.default_alpha),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        engine.close()
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["qps"] = round(point.qps, 2)
+    benchmark.extra_info["pruned_fraction"] = round(point.pruned_fraction, 4)
+    benchmark.extra_info["searched_per_query"] = round(point.shards_searched_per_query, 3)
+
+
+def test_pruning_bound_skips_shards(profile):
+    """Acceptance: at 4 shards the MINF bound must prune a nonzero
+    fraction of non-home shards on the Zipf workload."""
+    bundle, arrivals = _workload(profile)
+    engine = build_sharded_engine(
+        bundle.dataset,
+        4,
+        profile=profile,
+        landmarks=bundle.engine.landmarks,
+        normalization=bundle.engine.normalization,
+    )
+    try:
+        point = run_sharded_point(
+            engine, arrivals, k=profile.default_k, alpha=profile.default_alpha
+        )
+    finally:
+        engine.close()
+    assert point.pruned_fraction > 0.0, (
+        "shard-level MINF bound pruned nothing on a spatially clustered "
+        "Zipf workload — the bound machinery is broken"
+    )
+
+
+def main() -> int:
+    for table in sharded_scaling():
+        print(table.to_text())
+        shards_col = table.column("Shards")
+        backend_col = table.column("Backend")
+        speedups = table.column("Speedup")
+        pruned = table.column("Pruned fraction")
+        by_key = {
+            (s, b): (sp, pf)
+            for s, b, sp, pf in zip(shards_col, backend_col, speedups, pruned)
+        }
+        four_speedup = max(by_key[(4, b)][0] for b in ("inline", "process"))
+        four_pruned = max(by_key[(4, b)][1] for b in ("inline", "process"))
+        print(
+            f"\n4-shard speedup over 1 shard: {four_speedup:.2f}x "
+            f"(pruned fraction {four_pruned:.1%})"
+        )
+        assert four_pruned > 0.0, "expected a nonzero shard-pruning rate"
+        # The 4-shard configuration does ~1.3x the single-index work
+        # (the home shard re-derives roughly the global top-k), so with
+        # P cores the process backend's ceiling is ~P/1.3: the >=1.5x
+        # gate needs >= 4 cores to have real margin; 2-3 cores sit at
+        # the theoretical edge and a single core cannot express shard
+        # parallelism at all.  REPRO_SHARDED_GATE overrides the
+        # core-count heuristic: "strict" always asserts, "report" never
+        # does (what CI uses — shared noisy-neighbor runners make a
+        # wall-clock gate flake on changes unrelated to sharding).
+        gate = os.environ.get("REPRO_SHARDED_GATE", "auto")
+        cores = os.cpu_count() or 1
+        if gate == "strict" or (gate == "auto" and cores >= 4):
+            assert four_speedup >= 1.5, (
+                f"expected >=1.5x at 4 shards over 1 shard with {cores} cores, "
+                f"got {four_speedup:.2f}x"
+            )
+        else:
+            print(
+                f"(gate={gate}, {cores} core(s): the 1.5x gate is "
+                f"reported, not asserted — best 4-shard speedup here "
+                f"{four_speedup:.2f}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

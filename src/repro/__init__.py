@@ -8,8 +8,11 @@ every substrate it depends on (weighted graph search, ALT landmarks,
 bidirectional distance modules, Contraction Hierarchies, grid spatial
 indexes, the aggregate index with social summaries), calibrated dataset
 generators, a benchmark harness regenerating the paper's evaluation,
-and a serving layer (:mod:`repro.service`) adding batching, worker-pool
-concurrency, and an update-aware result cache on top of the engine.
+a serving layer (:mod:`repro.service`) adding batching, worker-pool
+concurrency, and an update-aware result cache on top of the engine,
+and a sharding layer (:mod:`repro.shard`) that partitions users across
+spatial shards and answers by scatter-gather with bound-based shard
+pruning — rankings identical to the single engine, property-tested.
 
 Quickstart::
 
@@ -46,9 +49,10 @@ from repro.index.aggregate import AggregateIndex
 from repro.service.cache import ResultCache
 from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
+from repro.shard.engine import ShardedGeoSocialEngine
 from repro.spatial.point import BBox, LocationTable
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -76,6 +80,8 @@ __all__ = [
     "QueryResponse",
     "ServiceStats",
     "ResultCache",
+    # sharding layer
+    "ShardedGeoSocialEngine",
     # data model
     "SocialGraph",
     "LocationTable",

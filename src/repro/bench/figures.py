@@ -408,6 +408,14 @@ def service(profile: BenchProfile | None = None) -> list[ExperimentTable]:
     return service_throughput(profile)
 
 
+def sharded(profile: BenchProfile | None = None) -> list[ExperimentTable]:
+    """Sharded-engine scaling (not a paper figure: scatter-gather
+    throughput and shard pruning versus shard count)."""
+    from repro.bench.sharded_workload import sharded_scaling
+
+    return sharded_scaling(profile)
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "fig7a": fig7a,
@@ -421,4 +429,5 @@ ALL_EXPERIMENTS = {
     "fig14a": fig14a,
     "fig14b": fig14b,
     "service": service,
+    "sharded": sharded,
 }

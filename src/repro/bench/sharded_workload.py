@@ -1,0 +1,221 @@
+"""Sharded scatter-gather scaling: throughput and shard pruning versus
+shard count on the Zipf-skewed service workload.
+
+Not a paper figure — this benchmarks the sharding layer
+(:mod:`repro.shard`) added on top of the reproduction.  Every
+configuration serves the *same* Zipf arrival sequence in the same batch
+sizes with result caching off (the engine, not the cache, is measured);
+the interesting numbers are the speedup over the 1-shard configuration
+and the fraction of non-home shards the ``MINF`` bound prunes.
+
+Two execution backends are measured:
+
+- ``inline`` — the scatter runs in the serving thread.  This isolates
+  the *work* story: pruned shards cost nothing, searched shards run
+  over right-sized indexes, and threshold propagation lets non-home
+  shards terminate after a bound check.  A single unified index is a
+  strong baseline (the home shard must re-derive roughly the global
+  top-k on its own), so inline throughput stays near 1x — the honest
+  single-core reading.
+- ``process`` — per-configuration worker processes, ``min(cpus,
+  shards)`` wide (one serving process per shard, the deployment shape
+  sharding exists for), fork-sharing the built indexes copy-on-write.
+  On multi-core hardware this is where shard count buys real
+  throughput; on a single core it degrades gracefully to the inline
+  story plus IPC overhead.
+
+Drivers back ``python -m repro.bench sharded`` (registered in
+:data:`repro.bench.figures.ALL_EXPERIMENTS`) and the standalone
+``benchmarks/bench_sharded_scaling.py``, whose acceptance gate requires
+the 4-shard configuration to beat 1-shard by >= 1.5x with a nonzero
+pruning rate whenever the hardware gives shard parallelism real margin
+(>= 4 cores; fewer cores report instead of asserting).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentTable
+from repro.bench.service_workload import zipf_arrivals
+from repro.bench.workloads import get_bundle
+from repro.service.model import QueryRequest
+from repro.service.service import QueryService
+from repro.shard.engine import ShardedGeoSocialEngine
+from repro.shard.parallel import ProcessScatterPool
+
+#: shard counts swept by the scaling experiment
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class ShardedPoint:
+    """One measured shard-count configuration."""
+
+    shards: int
+    backend: str
+    workers: int
+    queries: int
+    elapsed: float
+    pruned_fraction: float
+    shards_searched_per_query: float
+
+    @property
+    def qps(self) -> float:
+        """Queries served per second."""
+        return self.queries / self.elapsed if self.elapsed > 0 else float("inf")
+
+
+def build_sharded_engine(
+    dataset,
+    n_shards: int,
+    *,
+    profile: BenchProfile | None = None,
+    landmarks=None,
+    normalization=None,
+    partitioner_kind: str = "grid",
+    max_workers: int = 1,
+) -> ShardedGeoSocialEngine:
+    """A sharded engine over ``dataset`` sharing pre-built landmark
+    tables/normalization (pass the single engine's to skip N rebuilds).
+    The grid partitioner's region boundaries respect the spatial
+    clustering, which is what makes the MINF bound prune hard."""
+    profile = profile or get_profile()
+    return ShardedGeoSocialEngine(
+        dataset.graph,
+        dataset.locations,
+        n_shards=n_shards,
+        partitioner_kind=partitioner_kind,
+        num_landmarks=profile.num_landmarks,
+        s=profile.default_s,
+        seed=profile.seed,
+        landmarks=landmarks,
+        normalization=normalization,
+        max_workers=max_workers,
+    )
+
+
+def run_sharded_point(
+    engine: ShardedGeoSocialEngine,
+    arrivals: list[int],
+    *,
+    backend: str = "inline",
+    batch_size: int = 32,
+    k: int = 30,
+    alpha: float = 0.3,
+    method: str = "ais",
+) -> ShardedPoint:
+    """Serve the arrival sequence in ``batch_size``-sized batches (no
+    result cache — the engine is measured) and time it.
+
+    ``backend="inline"`` serves through a fresh
+    :class:`~repro.service.QueryService`; ``backend="process"`` fans
+    shard searches across ``min(cpus, shards)`` forked workers via
+    :class:`~repro.shard.ProcessScatterPool`.
+    """
+    before = engine.scatter_info()
+    workers = 1
+    if backend == "inline":
+        with QueryService(engine, max_workers=1, cache_size=0) as service:
+            requests = [
+                QueryRequest(user=user, k=k, alpha=alpha, method=method)
+                for user in arrivals
+            ]
+            start = time.perf_counter()
+            for lo in range(0, len(requests), batch_size):
+                service.query_many(requests[lo : lo + batch_size])
+            elapsed = time.perf_counter() - start
+    elif backend == "process":
+        workers = max(1, min(os.cpu_count() or 1, engine.n_shards))
+        with ProcessScatterPool(engine, processes=workers) as pool:
+            start = time.perf_counter()
+            for lo in range(0, len(arrivals), batch_size):
+                pool.query_many(
+                    arrivals[lo : lo + batch_size], k=k, alpha=alpha, method=method
+                )
+            elapsed = time.perf_counter() - start
+    else:
+        raise ValueError(f"unknown backend {backend!r}; choose 'inline' or 'process'")
+    after = engine.scatter_info()
+    scatter = after["scatter_queries"] - before["scatter_queries"]
+    considered = after["shards_considered"] - before["shards_considered"]
+    searched = after["shards_searched"] - before["shards_searched"]
+    prunable = considered - scatter
+    return ShardedPoint(
+        shards=engine.n_shards,
+        backend=backend,
+        workers=workers,
+        queries=len(arrivals),
+        elapsed=elapsed,
+        pruned_fraction=(considered - searched) / prunable if prunable > 0 else 0.0,
+        shards_searched_per_query=searched / scatter if scatter else 0.0,
+    )
+
+
+def sharded_scaling(profile: BenchProfile | None = None) -> list[ExperimentTable]:
+    """Experiment driver (registered as ``sharded``): queries/sec and
+    pruned-shard fraction versus shard count on the Zipf-skewed
+    Gowalla-like workload, for both scatter backends."""
+    profile = profile or get_profile()
+    bundle = get_bundle("gowalla", profile)
+    located = list(bundle.dataset.locations.located_users())
+    arrivals = zipf_arrivals(
+        located, count=max(profile.queries * 25, 100), skew=1.1, seed=profile.seed
+    )
+    points: list[ShardedPoint] = []
+    for n_shards in SHARD_COUNTS:
+        engine = build_sharded_engine(
+            bundle.dataset,
+            n_shards,
+            profile=profile,
+            landmarks=bundle.engine.landmarks,
+            normalization=bundle.engine.normalization,
+        )
+        try:
+            for backend in ("inline", "process"):
+                points.append(
+                    run_sharded_point(
+                        engine,
+                        arrivals,
+                        backend=backend,
+                        k=profile.default_k,
+                        alpha=profile.default_alpha,
+                    )
+                )
+        finally:
+            engine.close()
+    baseline = next(p for p in points if p.shards == 1 and p.backend == "inline")
+    table = ExperimentTable(
+        "Sharded",
+        "Scatter-gather scaling on Zipf-skewed arrivals (Gowalla-like)",
+        [
+            "Shards",
+            "Backend",
+            "Workers",
+            "Queries",
+            "QPS",
+            "Speedup",
+            "Pruned fraction",
+            "Searched/query",
+        ],
+        notes="speedup is relative to 1 shard inline; pruned fraction "
+        "counts non-home shards skipped by the MINF bound; the process "
+        "backend runs one worker per shard (capped at the core count)",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.shards,
+                point.backend,
+                point.workers,
+                point.queries,
+                point.qps,
+                point.qps / baseline.qps if baseline.qps else float("inf"),
+                point.pruned_fraction,
+                point.shards_searched_per_query,
+            ]
+        )
+    return [table]

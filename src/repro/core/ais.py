@@ -186,7 +186,7 @@ class AggregateIndexSearch:
         lm_vector = self.landmarks.vector
         while heap:
             key, _, kind, payload = heap.pop()
-            if key >= buffer.fk:
+            if key > buffer.fk:
                 break
             if kind == _TOP:
                 for leaf, summary, bbox in index.children(payload):

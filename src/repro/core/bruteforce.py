@@ -44,7 +44,16 @@ class BruteForceSearch:
         self.locations = locations
         self.normalization = normalization
 
-    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial=None,
+    ) -> SSRQResult:
+        """Score every user; an optional ``initial`` buffer of already
+        evaluated users is merged in (uniform searcher signature — the
+        full scan gains nothing from a warm threshold)."""
         check_user(query_user, self.graph.n)
         stats = SearchStats()
         start = time.perf_counter()
@@ -68,6 +77,10 @@ class BruteForceSearch:
                 scored.append((f, user, p, d))
         top = heapq.nsmallest(k, scored)
         neighbors = [Neighbor(user, f, p, d) for f, user, p, d in top]
+        if initial is not None:
+            for f, user, p, d in top:
+                initial.offer(user, f, p, d)
+            neighbors = initial.neighbors()
         stats.evaluations = len(scored)
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, neighbors, stats)

@@ -33,6 +33,7 @@ way the definitions demand: ``alpha == 0`` is a pure spatial query
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.ais import AggregateIndexSearch, AISVariant
@@ -40,7 +41,7 @@ from repro.core.bruteforce import BruteForceSearch
 from repro.core.graphdist import CHOracle
 from repro.core.precompute import CachedSocialFirst, SocialNeighborCache
 from repro.core.ranking import Normalization
-from repro.core.result import SSRQResult
+from repro.core.result import SSRQResult, TopKBuffer
 from repro.core.sfa import SocialFirstSearch
 from repro.core.spa import SpatialFirstSearch
 from repro.core.tsa import TwofoldSearch
@@ -93,6 +94,56 @@ _ALPHA1_ROUTE = {
 }
 
 
+def _service_backed_query_many(
+    engine,
+    requests: "Iterable[int | QueryRequest]",
+    k: int,
+    alpha: float,
+    method: str,
+    t: int | None,
+    max_workers: int | None,
+) -> list[SSRQResult]:
+    """Shared implementation behind ``query_many`` on both engine kinds:
+    a cache-disabled :class:`~repro.service.QueryService` per requested
+    pool width, kept in ``engine._services`` under ``engine._build_lock``
+    (never closed mid-flight: another thread may still be running a
+    batch on an earlier width's pool)."""
+    from repro.service.service import QueryService
+
+    with engine._build_lock:
+        service = engine._services.get(max_workers)
+        if service is None:
+            service = QueryService(engine, cache_size=0, max_workers=max_workers)
+            engine._services[max_workers] = service
+    responses = service.query_many(requests, k=k, alpha=alpha, method=method, t=t)
+    return [response.result for response in responses]
+
+
+def _close_cached_services(engine) -> None:
+    """Shut down the ``query_many`` services cached on ``engine``."""
+    with engine._build_lock:
+        services, engine._services = list(engine._services.values()), {}
+    for service in services:
+        service.close()
+
+
+def route_method(method: str, alpha: float) -> str:
+    """The method actually dispatched at preference ``alpha``.
+
+    At the endpoints the requested method degenerates: ``alpha == 0``
+    is a pure spatial query (social-first variants route to SPA) and
+    ``alpha == 1`` a pure social one (index-based variants route to
+    SFA, whose Dijkstra stream also reaches users without a location).
+    Both :class:`GeoSocialEngine` and the sharded engine apply the same
+    routing, so their behavior is identical at the endpoints.
+    """
+    if alpha == 0.0:
+        return _ALPHA0_ROUTE.get(method, method)
+    if alpha == 1.0:
+        return _ALPHA1_ROUTE.get(method, method)
+    return method
+
+
 class GeoSocialEngine:
     """Indexes a geo-social dataset and answers SSRQ queries.
 
@@ -122,6 +173,22 @@ class GeoSocialEngine:
     default_t:
         Cached-neighbour list length for ``ais-cache`` (Figure 11's
         parameter ``t``), overridable per query.
+    landmarks:
+        Optional pre-built :class:`~repro.graph.landmarks.LandmarkIndex`
+        over ``graph``; injected by the sharded engine so every shard
+        shares one set of landmark tables instead of rebuilding them.
+        When given, ``num_landmarks``/``landmark_strategy`` are ignored
+        for construction (but ``landmark_strategy`` is still recorded
+        for rebuilds).
+    index_users:
+        Optional user subset to index spatially.  When given, the SPA
+        grid and the aggregate index cover only these users (a *member
+        filter*) while the location table — typically shared — keeps
+        answering distance lookups for everyone, including query users
+        owned by other shards.  Member-filtered engines are managed by
+        a sharding coordinator: :meth:`move_user` and
+        :meth:`forget_location` raise, because membership routing must
+        happen above the single shard.
     """
 
     def __init__(
@@ -135,6 +202,8 @@ class GeoSocialEngine:
         seed: int = 0,
         normalization: Normalization | None = None,
         default_t: int = 500,
+        landmarks: LandmarkIndex | None = None,
+        index_users: Iterable[int] | None = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -147,14 +216,22 @@ class GeoSocialEngine:
         self.default_t = default_t
         self.landmark_strategy = landmark_strategy
         self.seed = seed
-        self.landmarks = LandmarkIndex.build(graph, num_landmarks, landmark_strategy, seed)
+        self.landmarks = (
+            landmarks
+            if landmarks is not None
+            else LandmarkIndex.build(graph, num_landmarks, landmark_strategy, seed)
+        )
         self.normalization = (
             normalization
             if normalization is not None
             else Normalization.estimate(graph, locations, seed=seed)
         )
-        self.grid = UniformGrid.build(locations, s * s)
-        self.aggregate = AggregateIndex.build(locations, self.landmarks, s)
+        self.index_users: set[int] | None = (
+            None if index_users is None else set(index_users)
+        )
+        members = None if self.index_users is None else sorted(self.index_users)
+        self.grid = UniformGrid.build(locations, s * s, users=members)
+        self.aggregate = AggregateIndex.build(locations, self.landmarks, s, users=members)
         self._searchers: dict[str, object] = {}
         self._ch: ContractionHierarchy | None = None
         self._ch_oracle: CHOracle | None = None
@@ -298,17 +375,25 @@ class GeoSocialEngine:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        *,
+        initial: "TopKBuffer | None" = None,
     ) -> SSRQResult:
         """Answer one SSRQ: the top-``k`` users by
-        ``f = α·p/P_max + (1−α)·d/D_max`` around ``user``."""
+        ``f = α·p/P_max + (1−α)·d/D_max`` around ``user``.
+
+        ``initial`` warm-starts the search's interim result with
+        already fully-evaluated users (the buffer is mutated and folded
+        into the answer) — the threshold-propagation hook the sharded
+        engine uses so later shards inherit a tight ``f_k`` and can
+        terminate after a bound check.
+        """
         check_user(user, self.graph.n)
         check_alpha(alpha)
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-        if alpha == 0.0:
-            method = _ALPHA0_ROUTE.get(method, method)
-        elif alpha == 1.0:
-            method = _ALPHA1_ROUTE.get(method, method)
+        method = route_method(method, alpha)
+        if initial is not None:
+            return self.searcher(method, t=t).search(user, k, alpha, initial=initial)
         return self.searcher(method, t=t).search(user, k, alpha)
 
     def batch_query(
@@ -319,8 +404,26 @@ class GeoSocialEngine:
         method: str = "ais",
         t: int | None = None,
     ) -> list[SSRQResult]:
-        """Run the same query for several users (benchmark workloads)."""
-        return [self.query(u, k, alpha, method, t=t) for u in users]
+        """Deprecated alias of :meth:`query_many`.
+
+        .. deprecated:: 1.2
+            ``batch_query`` and ``query_many`` historically drifted:
+            the former was a bare sequential loop, the latter the
+            service-backed batch API.  :meth:`query_many` is the single
+            batch entry point now (service-backed: deduplication,
+            request ordering, optional concurrency); this alias
+            delegates to it with an inline single-worker execution, so
+            results are identical to the old sequential loop — and to
+            ``query_many`` itself, whose rankings match a sequential
+            ``query`` loop by contract.
+        """
+        warnings.warn(
+            "GeoSocialEngine.batch_query is deprecated; use query_many, "
+            "the service-backed batch API (identical results)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_many(users, k=k, alpha=alpha, method=method, t=t, max_workers=1)
 
     def query_many(
         self,
@@ -347,15 +450,17 @@ class GeoSocialEngine:
         requested ``max_workers`` width, so concurrent callers with
         different widths never tear down each other's pools.
         """
-        from repro.service.service import QueryService
+        return _service_backed_query_many(
+            self, requests, k, alpha, method, t, max_workers
+        )
 
-        with self._build_lock:
-            service = self._services.get(max_workers)
-            if service is None:
-                service = QueryService(self, cache_size=0, max_workers=max_workers)
-                self._services[max_workers] = service
-        responses = service.query_many(requests, k=k, alpha=alpha, method=method, t=t)
-        return [response.result for response in responses]
+    def close(self) -> None:
+        """Release pooled resources (the worker pools behind cached
+        :meth:`query_many` services).  Queries keep working — the pools
+        are rebuilt lazily on the next :meth:`query_many` — so closing
+        a swapped-out engine after
+        :meth:`~repro.service.QueryService.rebuild_engine` is safe."""
+        _close_cached_services(self)
 
     # -- dynamic locations -----------------------------------------------
 
@@ -388,15 +493,14 @@ class GeoSocialEngine:
         lock remain unsafe).
         """
         check_user(user, self.graph.n)
+        self._check_unfiltered("move_user")
         with self.rw_lock.write_locked():
             had_location = self.locations.has_location(user)
             self.locations.set(user, x, y)
             if had_location:
-                self.grid.move(user, x, y)
-                self.aggregate.move_user(user, x, y)
+                self._index_move(user, x, y)
             else:
-                self.grid.insert(user, x, y)
-                self.aggregate.insert_user(user, x, y)
+                self._index_insert(user, x, y)
             for listener in self._location_listeners:
                 listener(user, x, y)
 
@@ -404,14 +508,70 @@ class GeoSocialEngine:
         """Mark a user's location as unknown and de-index them
         (exclusively, like :meth:`move_user`)."""
         check_user(user, self.graph.n)
+        self._check_unfiltered("forget_location")
         with self.rw_lock.write_locked():
             if not self.locations.has_location(user):
                 return
             self.locations.clear(user)
-            self.grid.remove(user)
-            self.aggregate.remove_user(user)
+            self._index_remove(user)
             for listener in self._location_listeners:
                 listener(user, None, None)
+
+    def _check_unfiltered(self, op: str) -> None:
+        if self.index_users is not None:
+            raise RuntimeError(
+                f"{op} on a member-filtered engine: shard membership is "
+                "routed above the single shard — apply updates through "
+                "the owning ShardedGeoSocialEngine"
+            )
+
+    # -- index maintenance primitives (the sharding coordinator drives
+    #    these directly, under *its* write lock, because a boundary
+    #    crossing touches two shards' indexes while the shared location
+    #    table must be written exactly once) ----------------------------
+
+    def _index_insert(self, user: int, x: float, y: float) -> None:
+        """Add ``user`` (already written to the location table) to the
+        spatial indexes; tracks membership on filtered engines."""
+        self.grid.insert(user, x, y)
+        self.aggregate.insert_user(user, x, y)
+        if self.index_users is not None:
+            self.index_users.add(user)
+
+    def _index_remove(self, user: int) -> None:
+        """De-index ``user`` from the grid and the aggregate index."""
+        self.grid.remove(user)
+        self.aggregate.remove_user(user)
+        if self.index_users is not None:
+            self.index_users.discard(user)
+
+    def _index_move(self, user: int, x: float, y: float) -> None:
+        """Relocate an indexed ``user`` within this engine's indexes."""
+        self.grid.move(user, x, y)
+        self.aggregate.move_user(user, x, y)
+
+    # -- rebuild ----------------------------------------------------------
+
+    def with_graph(self, graph: SocialGraph, **overrides) -> "GeoSocialEngine":
+        """A fresh engine of the same kind over ``graph``, reusing this
+        engine's parameters (and location table) unless overridden.
+
+        The service layer's :meth:`~repro.service.QueryService.rebuild_engine`
+        calls this to fold batched edge updates into a new engine while
+        preserving the engine kind — the sharded engine overrides it to
+        re-shard.  Landmarks are rebuilt (the graph changed), the
+        normalization is kept (a shared constant preserves rankings).
+        """
+        kwargs = dict(
+            num_landmarks=self.landmarks.m,
+            landmark_strategy=self.landmark_strategy,
+            s=self.s,
+            seed=self.seed,
+            normalization=self.normalization,
+            default_t=self.default_t,
+        )
+        kwargs.update(overrides)
+        return type(self)(graph, self.locations, **kwargs)
 
     # -- introspection ----------------------------------------------------
 

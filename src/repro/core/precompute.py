@@ -120,7 +120,15 @@ class CachedSocialFirst:
         self.cache = cache
         self.fallback = fallback
 
-    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial: TopKBuffer | None = None,
+    ) -> SSRQResult:
+        """Answer the query; an optional ``initial`` buffer warm-starts
+        ``f_k`` for both the cached-list scan and the AIS fallback."""
         check_user(query_user, self.graph.n)
         stats = SearchStats()
         start = time.perf_counter()
@@ -130,14 +138,14 @@ class CachedSocialFirst:
                 "AIS-Cache requires alpha > 0 (the cached lists are ordered "
                 "by social distance); use SPA for alpha == 0"
             )
-        buffer = TopKBuffer(k)
+        buffer = initial if initial is not None else TopKBuffer(k)
         locations = self.locations
         terminated = False
         for p, v in self.cache.list_for(query_user):
             stats.evaluations += 1
             d = locations.distance(query_user, v) if rank.needs_spatial else INF
             buffer.offer(v, rank.score(p, d), p, d)
-            if rank.social_part(p) >= buffer.fk:
+            if rank.social_part(p) > buffer.fk:
                 terminated = True
                 break
         if not terminated and not self.cache.is_complete(query_user):

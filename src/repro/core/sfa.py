@@ -3,7 +3,9 @@
 Expand the social graph around ``v_q`` with Dijkstra, evaluating every
 settled user (their Euclidean distance is an O(1) lookup).  If ``v`` is
 the last settled vertex, ``θ = α · p(v_q, v)`` lower-bounds the score of
-every unseen user, so the search stops once ``θ ≥ f_k``.
+every unseen user, so the search stops once ``θ`` strictly exceeds
+``f_k`` (strict, so exact boundary ties are enumerated and broken
+deterministically toward smaller ids — see :mod:`repro.core.spa`).
 
 ``point_to_point`` switches the *evaluation* distance to an external
 oracle (a CH query in the paper's SFA-CH variant of Figure 8) while the
@@ -52,7 +54,17 @@ class SocialFirstSearch:
         self.normalization = normalization
         self.point_to_point = point_to_point
 
-    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial: TopKBuffer | None = None,
+    ) -> SSRQResult:
+        """Answer the query; an optional ``initial`` buffer of already
+        fully-evaluated users warm-starts the threshold ``f_k`` so the
+        Dijkstra stream stops as soon as its social bound proves no
+        unseen user can improve on it."""
         check_user(query_user, self.graph.n)
         stats = SearchStats()
         start = time.perf_counter()
@@ -62,7 +74,7 @@ class SocialFirstSearch:
                 "SFA requires alpha > 0: with alpha == 0 its social bound "
                 "never grows; use SPA (the engine routes this automatically)"
             )
-        buffer = TopKBuffer(k)
+        buffer = initial if initial is not None else TopKBuffer(k)
         social = DijkstraIterator(self.graph, query_user)
         locations = self.locations
         oracle = self.point_to_point
@@ -82,7 +94,7 @@ class SocialFirstSearch:
                 d = locations.distance(query_user, v) if rank.needs_spatial else INF
                 buffer.offer(v, rank.score(p_eval, d), p_eval, d)
             theta = rank.social_part(p)
-            if theta >= buffer.fk:
+            if theta > buffer.fk:
                 break
 
         stats.pops_social = social.heap.pops

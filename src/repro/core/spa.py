@@ -2,7 +2,11 @@
 
 Retrieve users in increasing Euclidean distance from ``u_q`` with an
 incremental grid-based NN search; compute each one's social distance;
-stop when ``θ = (1 − α) · d(u_q, u_last) ≥ f_k``.
+stop when ``θ = (1 − α) · d(u_q, u_last)`` exceeds ``f_k``.  (The
+paper terminates at ``θ ≥ f_k``; we stop only on *strict* excess so
+users exactly tied with the k-th score are still enumerated and the
+result's tie-break — smaller ids win — is deterministic across all
+methods, enumeration orders, and shard layouts.)
 
 Social distances are produced by one *shared* incremental Dijkstra from
 ``v_q`` that is advanced just far enough to settle each candidate — the
@@ -57,7 +61,18 @@ class SpatialFirstSearch:
         self.normalization = normalization
         self.point_to_point = point_to_point
 
-    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial: TopKBuffer | None = None,
+    ) -> SSRQResult:
+        """Answer the query; an optional ``initial`` buffer of already
+        fully-evaluated users warm-starts the threshold ``f_k``, letting
+        the NN stream terminate as soon as its spatial bound proves no
+        local user can improve on it (scatter-gather threshold
+        propagation)."""
         check_user(query_user, self.graph.n)
         stats = SearchStats()
         start = time.perf_counter()
@@ -75,7 +90,7 @@ class SpatialFirstSearch:
             )
         qx, qy = location
 
-        buffer = TopKBuffer(k)
+        buffer = initial if initial is not None else TopKBuffer(k)
         nn = IncrementalNearestNeighbors(self.grid, self.locations, qx, qy, exclude=query_user)
         oracle = self.point_to_point
         oracle_pops_before = oracle.pops if oracle is not None else 0
@@ -99,7 +114,7 @@ class SpatialFirstSearch:
                 p = INF
             buffer.offer(u, rank.score(p, d), p, d)
             theta = rank.spatial_part(d)
-            if theta >= buffer.fk:
+            if theta > buffer.fk:
                 break
 
         stats.pops_spatial = nn.heap.pops

@@ -7,12 +7,18 @@ and a spatial lower bound for unseen users:
 - **Phase 1** interleaves the two streams (round-robin by default,
   Quick Combine for TSA-QC).  Social pops are evaluated immediately;
   spatial pops whose social distance is unknown enter the candidate set
-  ``Q``.  The phase ends when ``θ = α·t_p + (1−α)·t_d ≥ f_k``.
+  ``Q``.  The phase ends when ``θ = α·t_p + (1−α)·t_d`` exceeds
+  ``f_k``.
 - **Phase 2** only continues the social search (continuing the spatial
   one could not improve the candidate bound ``θ' = α·t_p + (1−α)·t'_d``
   where ``t'_d`` is the smallest candidate distance).  Settled vertices
   found in ``Q`` are evaluated; the phase ends when ``Q`` empties or
-  ``θ' ≥ f_k``.
+  ``θ'`` exceeds ``f_k``.
+
+Every bound comparison is *strict* (the paper terminates at
+``θ ≥ f_k``): users exactly tied with the k-th score stay in play, so
+the tie-break toward smaller ids is deterministic across methods,
+enumeration orders, and shard layouts (see :mod:`repro.core.spa`).
 
 The landmark-aided version (the paper's default "TSA") prunes ``Q``
 between the phases using per-candidate landmark lower bounds.  With a
@@ -92,7 +98,16 @@ class TwofoldSearch:
 
     # -- query ----------------------------------------------------------------
 
-    def search(self, query_user: int, k: int, alpha: float) -> SSRQResult:
+    def search(
+        self,
+        query_user: int,
+        k: int,
+        alpha: float,
+        initial: TopKBuffer | None = None,
+    ) -> SSRQResult:
+        """Answer the query; an optional ``initial`` buffer of already
+        fully-evaluated users warm-starts ``f_k``, so the twofold bound
+        ``θ`` can end both phases before either stream advances far."""
         check_user(query_user, self.graph.n)
         stats = SearchStats()
         start = time.perf_counter()
@@ -110,7 +125,7 @@ class TwofoldSearch:
             )
         qx, qy = location
 
-        buffer = TopKBuffer(k)
+        buffer = initial if initial is not None else TopKBuffer(k)
         social = DijkstraIterator(self.graph, query_user)
         oracle = self.point_to_point
         oracle_pops_before = oracle.pops if oracle is not None else 0
@@ -133,7 +148,7 @@ class TwofoldSearch:
             theta = rank.social_part(tp if social_live else INF) + rank.spatial_part(
                 td if spatial_live else INF
             )
-            if theta >= buffer.fk:
+            if theta > buffer.fk:
                 break
             side = policy.choose((social_live, spatial_live))
             if side == _SOCIAL:
@@ -173,7 +188,7 @@ class TwofoldSearch:
                 if lb_p < tp_floor:
                     lb_p = tp_floor
                 lb = rank.social_part(lb_p) + rank.spatial_part(candidates[u])
-                if lb >= fk:
+                if lb > fk:
                     del candidates[u]
 
         # ---- Phase 2: resolve candidates ----------------------------------
@@ -215,7 +230,7 @@ class TwofoldSearch:
                 heapq.heappop(cand_heap)
             td_min = cand_heap[0][0] if cand_heap else INF
             theta2 = rank.social_part(social.last_distance) + rank.spatial_part(td_min)
-            if theta2 >= buffer.fk:
+            if theta2 > buffer.fk:
                 break
             item = social.next()
             if item is None:
@@ -248,7 +263,7 @@ class TwofoldSearch:
                 lm_lb = lm.lower_bound(query_user, u)
                 if lm_lb > lb_p:
                     lb_p = lm_lb
-            if rank.social_part(lb_p) + rank.spatial_part(d) >= buffer.fk:
+            if rank.social_part(lb_p) + rank.spatial_part(d) > buffer.fk:
                 continue
             p = oracle.distance(query_user, u)
             stats.evaluations += 1

@@ -17,6 +17,15 @@ component that can absorb realistic load:
   concurrently while serialising updates against in-flight queries (the
   engine's grid/aggregate-index mutation is not safe under readers).
 
+The service is engine-kind agnostic: it serves a single
+:class:`~repro.core.engine.GeoSocialEngine` or a
+:class:`~repro.shard.ShardedGeoSocialEngine` identically — both expose
+the same ``query``/update/listener/lock surface, and the sharded
+engine's location listeners fire with the same semantics, so
+update-aware cache invalidation (including boundary-crossing moves that
+re-home a user onto another shard) needs no sharding-specific code
+here.
+
 The algorithms are read-mostly and pure-Python; a thread pool therefore
 buys latency overlap (and true parallelism on GIL-free builds) while
 the cache buys throughput on skewed workloads — see
@@ -65,7 +74,9 @@ class QueryService:
     Parameters
     ----------
     engine:
-        The (already built) engine to serve from.
+        The (already built) engine to serve from — a
+        :class:`~repro.core.engine.GeoSocialEngine` or a
+        :class:`~repro.shard.ShardedGeoSocialEngine`.
     max_workers:
         Worker-pool width for batches (default: ``min(8, cpus)``).
         ``1`` executes batches inline with no pool.
@@ -375,35 +386,34 @@ class QueryService:
         """Fold every edge update applied through :meth:`update_edge`
         into a fresh engine and swap it in.
 
-        Builds a new :class:`GeoSocialEngine` from the dynamics
-        snapshot (current topology) with the old engine's parameters
+        Builds a new engine *of the same kind* (via ``with_graph``; a
+        sharded engine re-shards) from the dynamics snapshot
+        (current topology) with the old engine's parameters
         (override any via ``engine_kwargs``), flushes the cache, swaps
         the engine in, and re-anchors the dynamics companion on it.
         The expensive build (landmark Dijkstras, index construction)
         runs *outside* the lock — only the snapshot and the swap hold
         the exclusive side, so queries stall for milliseconds, not the
         whole rebuild; an edge update that slips in mid-build triggers
-        a re-snapshot.  Returns the new engine.
+        a re-snapshot.  The swapped-out engine's pooled resources are
+        released (``old.close()``) — callers holding a direct reference
+        to it should switch to the returned engine.  Returns the new
+        engine.
         """
         self._check_open()
         tables = self.dynamics
         from repro.graph.dynamics import DynamicLandmarkTables
 
         old = self.engine
-        kwargs = dict(
-            num_landmarks=old.landmarks.m,
-            landmark_strategy=old.landmark_strategy,
-            s=old.s,
-            seed=old.seed,
-            normalization=old.normalization,
-            default_t=old.default_t,
-        )
-        kwargs.update(engine_kwargs)
         while True:
             with old.rw_lock.write_locked():
                 graph = tables.snapshot()
                 version = tables.updates_applied
-            new_engine = GeoSocialEngine(graph, old.locations, **kwargs)
+            # `with_graph` preserves the engine kind: a sharded engine
+            # re-shards over the repaired topology, a single engine
+            # rebuilds its indexes; both keep the old normalization so
+            # rankings stay comparable across the swap.
+            new_engine = old.with_graph(graph, **engine_kwargs)
             with old.rw_lock.write_locked():
                 if tables.updates_applied != version:
                     continue  # an edge update interleaved: re-snapshot
@@ -418,7 +428,12 @@ class QueryService:
                             new_engine.graph, new_engine.landmarks.copy()
                         )
                     )
-                return new_engine
+            # Outside the write lock (no service reader can still hold
+            # the old engine once the swap is visible): release the old
+            # engine's worker pools so periodic rebuilds don't leak
+            # threads for the process lifetime.
+            old.close()
+            return new_engine
 
     # -- invalidation listeners (fire inside the update's write lock
     #    when driven through this service; the cache takes its own lock

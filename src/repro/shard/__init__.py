@@ -1,0 +1,42 @@
+"""Spatial sharding: scatter-gather SSRQ over partitioned indexes.
+
+One :class:`~repro.core.engine.GeoSocialEngine` per process caps the
+reproduction far below the "millions of users" target.  This package
+partitions users across N spatial shards — each a member-filtered
+engine sharing the full graph, the global location table, the landmark
+index, and the normalization — and answers queries by scatter-gather
+with shard-level ``MINF`` pruning, returning rankings bit-identical to
+the single engine (property-tested in
+``tests/test_shard_equivalence.py``).
+
+Layout:
+
+- :mod:`repro.shard.partitioner` — pluggable user → shard assignment
+  (regular grid tiling, balanced k-d splits);
+- :mod:`repro.shard.bounds` — per-shard pruning envelopes (member
+  bounding box + social summary, Theorem 1 lifted to the partition);
+- :mod:`repro.shard.engine` — :class:`ShardedGeoSocialEngine`, the
+  scatter-gather coordinator with the single-engine API.
+"""
+
+from repro.shard.bounds import ShardBounds
+from repro.shard.engine import DELEGATED_METHODS, ScatterStats, ShardedGeoSocialEngine
+from repro.shard.parallel import ProcessScatterPool
+from repro.shard.partitioner import (
+    GridPartitioner,
+    KDTreePartitioner,
+    Partitioner,
+    make_partitioner,
+)
+
+__all__ = [
+    "ShardedGeoSocialEngine",
+    "ScatterStats",
+    "ShardBounds",
+    "ProcessScatterPool",
+    "Partitioner",
+    "GridPartitioner",
+    "KDTreePartitioner",
+    "make_partitioner",
+    "DELEGATED_METHODS",
+]

@@ -1,0 +1,135 @@
+"""Per-shard pruning bounds: a shard-level MINF.
+
+Each shard maintains the same two ingredients the AIS index keeps per
+cell (:mod:`repro.index.bounds`), lifted to the whole partition:
+
+- spatial: the bounding box of the shard's members, giving
+  ``ď(u_q, S)`` via the box ``mindist``;
+- social: a :class:`~repro.index.summaries.SocialSummary` over the
+  members' landmark-distance vectors, giving ``p̌(v_q, S)`` via
+  Lemma 2's group extension of the landmark triangle inequality.
+
+Their α-combination (Theorem 1's ``MINF``) lower-bounds the score of
+every member, so a shard whose bound strictly exceeds the merged
+threshold ``f_k`` provably cannot contribute and is skipped whole.
+
+Maintenance is *widen-only*: inserting a member widens the box and the
+summary in O(M); removing one leaves them unchanged.  A stale-but-wide
+bound is still admissible (the true member envelope only shrinks), it
+is merely less tight — :meth:`ShardBounds.refresh` recomputes exactly
+after heavy churn.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.ranking import RankingFunction
+from repro.index.bounds import minf, social_lower_bound
+from repro.index.summaries import SocialSummary
+
+INF = math.inf
+
+
+class ShardBounds:
+    """Widen-only member envelope (bbox + social summary) of one shard.
+
+        >>> from repro.shard.bounds import ShardBounds
+        >>> bounds = ShardBounds(m=2)
+        >>> bounds.add_member(0.1, 0.2, (1.0, 3.0))
+        >>> bounds.add_member(0.4, 0.3, (2.0, 5.0))
+        >>> bounds.count, round(bounds.spatial_lower_bound(0.4, 0.7), 6)
+        (2, 0.4)
+        >>> bounds.social_bound((6.0, 6.0))   # tightest landmark: 6 - 2
+        4.0
+    """
+
+    __slots__ = ("summary", "minx", "miny", "maxx", "maxy", "count")
+
+    def __init__(self, m: int) -> None:
+        self.summary = SocialSummary(m)
+        self.minx = INF
+        self.miny = INF
+        self.maxx = -INF
+        self.maxy = -INF
+        self.count = 0
+
+    # -- maintenance ---------------------------------------------------
+
+    def add_member(self, x: float, y: float, vector: Sequence[float]) -> None:
+        """Account a new member at ``(x, y)`` with landmark distances
+        ``vector`` (O(M))."""
+        self.count += 1
+        self._widen_box(x, y)
+        self.summary.widen(vector)
+
+    def update_member(self, x: float, y: float) -> None:
+        """Account an existing member's move (widens the box only; the
+        landmark vector is location-independent)."""
+        self._widen_box(x, y)
+
+    def remove_member(self) -> None:
+        """Account a member leaving.  The envelope is *not* shrunk —
+        wider-than-true bounds stay admissible — only the population
+        count drops (an empty shard is skipped outright)."""
+        self.count -= 1
+
+    def _widen_box(self, x: float, y: float) -> None:
+        if x < self.minx:
+            self.minx = x
+        if x > self.maxx:
+            self.maxx = x
+        if y < self.miny:
+            self.miny = y
+        if y > self.maxy:
+            self.maxy = y
+
+    def refresh(self, members: Iterable[tuple[float, float, Sequence[float]]]) -> None:
+        """Recompute the envelope exactly from ``(x, y, vector)``
+        triples (tightens bounds after sustained churn)."""
+        m = len(self.summary.m_check)
+        self.summary = SocialSummary(m)
+        self.minx = self.miny = INF
+        self.maxx = self.maxy = -INF
+        self.count = 0
+        for x, y, vector in members:
+            self.add_member(x, y, vector)
+
+    # -- bounds --------------------------------------------------------
+
+    def spatial_lower_bound(self, qx: float, qy: float) -> float:
+        """``ď(u_q, S)``: minimum distance from the query point to the
+        member envelope (0 when inside; ``inf`` for an empty shard)."""
+        if self.count <= 0 or self.minx == INF:
+            return INF
+        dx = max(self.minx - qx, 0.0, qx - self.maxx)
+        dy = max(self.miny - qy, 0.0, qy - self.maxy)
+        if dx == 0.0 and dy == 0.0:
+            return 0.0
+        return math.hypot(dx, dy)
+
+    def social_bound(self, query_vector: Sequence[float]) -> float:
+        """``p̌(v_q, S)``: Lemma 2 over the member summary."""
+        if self.count <= 0 or self.summary.empty:
+            return INF
+        return social_lower_bound(query_vector, self.summary.m_check, self.summary.m_hat)
+
+    def score_lower_bound(
+        self,
+        rank: RankingFunction,
+        qx: float,
+        qy: float,
+        query_vector: Sequence[float] | None,
+    ) -> float:
+        """Theorem 1's ``MINF`` for the whole shard: a valid lower bound
+        on the score of every member under ranking ``rank``.
+
+        ``query_vector is None`` (pure spatial, ``alpha == 0``) skips
+        the social ingredient — its weight is zero anyway.
+        """
+        social = (
+            self.social_bound(query_vector) if query_vector is not None else 0.0
+        )
+        spatial = self.spatial_lower_bound(qx, qy)
+        return minf(rank, social, spatial)

@@ -1,0 +1,591 @@
+"""Sharded scatter-gather SSRQ engine.
+
+:class:`ShardedGeoSocialEngine` partitions users across N spatial
+shards and answers every query by scatter-gather: per-shard top-k
+searches over member-filtered indexes, merged through the
+:func:`~repro.topk.merge.merge_topk` combiner, with provably
+non-contributing shards pruned by a shard-level ``MINF`` bound
+(:mod:`repro.shard.bounds`).
+
+**Why results are identical to one big engine.**  Every shard engine
+shares the *full* social graph, the *global* location table, the
+landmark index, and the normalization — so any score it reports is the
+exact global score.  A shard's spatial indexes cover only its members,
+so its local top-k ranks a *superset of its members* (social-stream
+methods may also surface a few non-members; duplicates collapse in the
+merge).  Any user of the global top-k is a member of exactly one shard
+and therefore survives its home shard's local top-k; merging the shard
+streams through the same ``(score, user)`` tie-break every single-engine
+algorithm uses reproduces the global ranking exactly, including order.
+Methods whose distances come from forward Dijkstra streams (SPA, TSA
+and variants, SFA, bruteforce) reproduce the single engine's results
+*bit-identically*, raw distances included, because a forward Dijkstra
+distance depends only on the (unique) shortest path, not the schedule;
+the AIS family's bidirectional evaluations sum forward+backward parts
+at a schedule-dependent meeting vertex, so its scores may differ from
+the single engine's by float associativity (≤ 1 ulp — the same noise
+the single engine shows between its own methods) while the rankings
+stay identical.
+
+**Why pruning is exact.**  A shard's bound lower-bounds each member's
+score (Theorem 1 lifted to the partition); a shard is skipped only when
+its bound *strictly* exceeds the current merged ``f_k``, which only
+tightens as shards merge — so every skipped member scores strictly
+worse than the final k-th answer and could not even win a tie-break.
+
+**Why it is fast.**  Social ties concentrate in geographic cells
+(Watts–Dodds–Newman; Herrera-Yagüe et al.), so both score ingredients
+are small exactly where the query lives: the home shard (searched
+first — its bound is 0) usually fills the top-k, and remote shards
+prune.  The survivors run in parallel over
+:class:`~repro.utils.concurrency.TaskPool`.
+
+Methods whose candidate stream is purely social (``sfa``, ``sfa-ch``,
+``bruteforce``, and everything at ``alpha == 1``) never touch a spatial
+index; they are delegated to a single shard engine, whose shared
+graph + global table make the answer globally exact.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.core.engine import (
+    METHODS,
+    GeoSocialEngine,
+    _close_cached_services,
+    _service_backed_query_many,
+    route_method,
+)
+from repro.core.ranking import Normalization, RankingFunction
+from repro.core.result import SSRQResult
+from repro.core.stats import SearchStats
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.shard.bounds import ShardBounds
+from repro.shard.partitioner import Partitioner, make_partitioner
+from repro.spatial.point import LocationTable
+from repro.topk.merge import merge_topk
+from repro.utils.concurrency import ReadWriteLock, TaskPool
+from repro.utils.validation import check_alpha, check_user
+
+if TYPE_CHECKING:
+    from repro.service.model import QueryRequest
+
+INF = math.inf
+
+#: methods answered by one shard engine (no spatial index involved:
+#: the shared graph and global location table make them globally exact)
+DELEGATED_METHODS = frozenset({"sfa", "sfa-ch", "bruteforce"})
+
+
+@dataclass
+class ScatterStats:
+    """Cumulative scatter-gather counters of one sharded engine.
+
+        >>> from repro.shard.engine import ScatterStats
+        >>> stats = ScatterStats(scatter_queries=2, shards_considered=8, shards_searched=3)
+        >>> stats.shards_pruned, round(stats.pruned_fraction, 3)
+        (5, 0.833)
+    """
+
+    #: scatter-gather queries answered (delegated ones excluded)
+    scatter_queries: int = 0
+    #: queries answered by a single delegated shard engine
+    delegated_queries: int = 0
+    #: nonempty shards that were candidates across all scatter queries
+    shards_considered: int = 0
+    #: per-shard searches actually executed
+    shards_searched: int = 0
+
+    @property
+    def shards_pruned(self) -> int:
+        return self.shards_considered - self.shards_searched
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of *non-home* candidate shards skipped by the bound
+        (the home shard is always searched)."""
+        prunable = self.shards_considered - self.scatter_queries
+        return self.shards_pruned / prunable if prunable > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "scatter_queries": self.scatter_queries,
+            "delegated_queries": self.delegated_queries,
+            "shards_considered": self.shards_considered,
+            "shards_searched": self.shards_searched,
+            "shards_pruned": self.shards_pruned,
+            "pruned_fraction": self.pruned_fraction,
+        }
+
+
+class ShardedGeoSocialEngine:
+    """Spatially partitioned SSRQ engine with the single-engine API.
+
+        >>> from repro import gowalla_like
+        >>> from repro.shard import ShardedGeoSocialEngine
+        >>> dataset = gowalla_like(n=300, seed=7)
+        >>> sharded = ShardedGeoSocialEngine.from_dataset(dataset, n_shards=4)
+        >>> result = sharded.query(user=0, k=5, alpha=0.3, method="ais")
+        >>> result.users == sharded.query(0, 5, 0.3, method="bruteforce").users
+        True
+
+    Drop-in for :class:`~repro.core.engine.GeoSocialEngine` wherever the
+    service layer is concerned: same ``query``/``query_many``/update
+    methods, same ``rw_lock``/listener contracts, bit-identical
+    rankings.
+
+    Parameters
+    ----------
+    graph, locations:
+        The social graph and the *global* user location table (shared
+        by every shard engine; at least one located user is required).
+    n_shards:
+        Number of spatial partitions (ignored when ``partitioner`` is
+        given).
+    partitioner:
+        A pre-fitted :class:`~repro.shard.partitioner.Partitioner`, or
+        ``None`` to fit one of ``partitioner_kind`` to the data.
+    partitioner_kind:
+        ``"grid"`` (regular tiling, default) or ``"kd"`` (balanced
+        median splits).
+    max_workers:
+        Worker-pool width for the parallel scatter phase (default:
+        ``min(4, cpus, n_shards)``; ``1`` scatters sequentially with
+        progressive pruning).
+    shard_s:
+        Grid fanout of each shard's indexes (default: ``s / sqrt(N)``,
+        keeping per-cell population comparable to the single engine's;
+        results never depend on it, only search cost does).
+    num_landmarks, landmark_strategy, s, seed, normalization, default_t:
+        As on :class:`~repro.core.engine.GeoSocialEngine`; landmarks
+        and normalization are computed once and shared by every shard.
+    landmarks:
+        Optional pre-built landmark index to share (rebuilt from the
+        graph when omitted).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        locations: LocationTable,
+        *,
+        n_shards: int = 4,
+        partitioner: Partitioner | None = None,
+        partitioner_kind: str = "grid",
+        max_workers: int | None = None,
+        num_landmarks: int = 8,
+        landmark_strategy: str = "farthest",
+        s: int = 10,
+        shard_s: int | None = None,
+        seed: int = 0,
+        normalization: Normalization | None = None,
+        default_t: int = 500,
+        landmarks: LandmarkIndex | None = None,
+    ) -> None:
+        if len(locations) != graph.n:
+            raise ValueError(
+                f"location table covers {len(locations)} users but the graph "
+                f"has {graph.n} vertices"
+            )
+        if locations.n_located < 1:
+            raise ValueError(
+                "spatial sharding requires at least one located user "
+                "(there is nothing to partition otherwise)"
+            )
+        self.graph = graph
+        self.locations = locations
+        self.s = s
+        self.seed = seed
+        self.default_t = default_t
+        self.landmark_strategy = landmark_strategy
+        self.partitioner_kind = partitioner_kind
+        self.landmarks = (
+            landmarks
+            if landmarks is not None
+            else LandmarkIndex.build(graph, num_landmarks, landmark_strategy, seed)
+        )
+        self.normalization = (
+            normalization
+            if normalization is not None
+            else Normalization.estimate(graph, locations, seed=seed)
+        )
+        self.partitioner = (
+            partitioner
+            if partitioner is not None
+            else make_partitioner(locations, n_shards, partitioner_kind)
+        )
+        # Per-shard grid fanout: a shard covers ~1/N of the users, so a
+        # full-size s² x s² leaf grid per shard would multiply index
+        # cells per user by N.  Scaling s by 1/sqrt(N) keeps per-cell
+        # population comparable to the single engine's (results never
+        # depend on s — only search cost does).
+        self.shard_s = (
+            shard_s
+            if shard_s is not None
+            else max(2, round(s / math.sqrt(self.partitioner.n_shards)))
+        )
+        self.max_workers = (
+            max_workers
+            if max_workers is not None
+            else max(1, min(4, os.cpu_count() or 1, self.partitioner.n_shards))
+        )
+
+        #: shared ``ais-cache`` neighbour lists: they depend only on the
+        #: (shared) graph, so every shard engine reuses one store
+        #: instead of re-running the truncated Dijkstras per shard;
+        #: guarded by one shared build lock installed on every shard
+        self._neighbor_caches: dict = {}
+        self._build_lock = threading.RLock()
+        #: located user -> owning shard id
+        self._owner: dict[int, int] = {}
+        #: shard id -> member-filtered engine (built lazily for shards
+        #: that start empty and gain members later)
+        self._engines: dict[int, GeoSocialEngine] = {}
+        self._bounds: dict[int, ShardBounds] = {}
+        members: dict[int, set[int]] = {}
+        xs, ys = locations.xs, locations.ys
+        for user in locations.located_users():
+            sid = self.partitioner.shard_of(xs[user], ys[user])
+            self._owner[user] = sid
+            members.setdefault(sid, set()).add(user)
+        for sid, users in sorted(members.items()):
+            self._build_shard(sid, users)
+
+        self.rw_lock = ReadWriteLock()
+        self.scatter = ScatterStats()
+        self._scatter_lock = threading.Lock()
+        #: bumped by every location update; process-scatter pools use it
+        #: to detect stale forked snapshots and re-fork
+        self.update_epoch = 0
+        self._location_listeners: list[Callable[[int, float | None, float | None], None]] = []
+        self._pool = TaskPool(self.max_workers, thread_name_prefix="ssrq-shard")
+        self._services: dict[int | None, object] = {}
+
+    @classmethod
+    def from_dataset(cls, dataset, **kwargs) -> "ShardedGeoSocialEngine":
+        """Build from any object exposing ``.graph`` and ``.locations``."""
+        return cls(dataset.graph, dataset.locations, **kwargs)
+
+    # -- shard construction --------------------------------------------
+
+    def _build_shard(self, sid: int, users: set[int]) -> GeoSocialEngine:
+        engine = GeoSocialEngine(
+            self.graph,
+            self.locations,
+            landmark_strategy=self.landmark_strategy,
+            s=self.shard_s,
+            seed=self.seed,
+            normalization=self.normalization,
+            default_t=self.default_t,
+            landmarks=self.landmarks,
+            index_users=users,
+        )
+        # The t-nearest social lists depend only on the shared graph:
+        # point every shard at one store so ais-cache scatter does not
+        # redo the same truncated Dijkstra per searched shard.  The
+        # build lock must be shared too — per-engine locks over one
+        # dict would let two shards race a first use and memoize
+        # searchers bound to duplicate, divergent cache objects.
+        engine._caches = self._neighbor_caches
+        engine._build_lock = self._build_lock
+        bounds = ShardBounds(self.landmarks.m)
+        xs, ys = self.locations.xs, self.locations.ys
+        vector = self.landmarks.vector
+        for user in users:
+            bounds.add_member(xs[user], ys[user], vector(user))
+        self._engines[sid] = engine
+        self._bounds[sid] = bounds
+        return engine
+
+    # -- query dispatch ------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    def shard_of_user(self, user: int) -> int | None:
+        """The shard owning ``user`` (``None`` while unlocated)."""
+        return self._owner.get(user)
+
+    def shard_sizes(self) -> dict[int, int]:
+        """Member counts per materialised shard."""
+        return {sid: b.count for sid, b in sorted(self._bounds.items())}
+
+    def _delegate_engine(self) -> GeoSocialEngine:
+        """A deterministic shard engine for globally-exact delegated
+        methods (first materialised shard; the shared graph and global
+        table make any of them equivalent)."""
+        return self._engines[min(self._engines)]
+
+    def query(
+        self,
+        user: int,
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> SSRQResult:
+        """Answer one SSRQ with rankings bit-identical to
+        :meth:`GeoSocialEngine.query` on the same data."""
+        check_user(user, self.graph.n)
+        check_alpha(alpha)
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        routed = route_method(method, alpha)
+        if routed in DELEGATED_METHODS:
+            result = self._delegate_engine().query(user, k, alpha, routed, t=t)
+            with self._scatter_lock:
+                self.scatter.delegated_queries += 1
+            return result
+        return self._scatter_query(user, k, alpha, routed, t)
+
+    def _scatter_plan(
+        self, user: int, alpha: float, method: str
+    ) -> "list[tuple[float, int]] | None":
+        """The sorted ``(bound, shard)`` candidate list for a scatter
+        query, or ``None`` when the query takes an inline path
+        (delegated method, or an unlocated query user whose spatial
+        searcher must raise exactly like the single engine's)."""
+        routed = route_method(method, alpha)
+        if routed in DELEGATED_METHODS:
+            return None
+        location = self.locations.get(user)
+        if location is None:
+            return None
+        qx, qy = location
+        rank = RankingFunction(alpha, self.normalization)
+        query_vector = self.landmarks.vector(user) if rank.needs_social else None
+        candidates: list[tuple[float, int]] = []
+        for sid, bounds in self._bounds.items():
+            if bounds.count <= 0:
+                continue
+            candidates.append(
+                (bounds.score_lower_bound(rank, qx, qy, query_vector), sid)
+            )
+        candidates.sort()
+        return candidates
+
+    def _record_scatter(self, queries: int, considered: int, searched: int) -> None:
+        with self._scatter_lock:
+            self.scatter.scatter_queries += queries
+            self.scatter.shards_considered += considered
+            self.scatter.shards_searched += searched
+
+    def _scatter_query(
+        self, user: int, k: int, alpha: float, method: str, t: int | None
+    ) -> SSRQResult:
+        start = time.perf_counter()
+        candidates = self._scatter_plan(user, alpha, method)
+        if candidates is None:
+            # Unlocated query user: mirror the single engine exactly —
+            # its spatial searcher raises; let a shard's do so.
+            return self._delegate_engine().query(user, k, alpha, method, t=t)
+
+        stats = SearchStats()
+
+        def run(sid: int, warm: "SSRQResult | None" = None) -> SSRQResult:
+            # Threshold propagation: the merged interim result (copied —
+            # searches mutate their buffer) warm-starts this shard's
+            # f_k, so a shard that cannot contribute terminates after a
+            # bound check instead of re-deriving a full local top-k.
+            initial = warm.copy() if warm is not None else None
+            return self._engines[sid].query(user, k, alpha, method, t=t, initial=initial)
+
+        considered = len(candidates)
+        searched = 0
+        merged = merge_topk(k, [])
+        if candidates and (
+            self.max_workers == 1 or len(candidates) <= 2 or self._pool.closed
+        ):
+            # Sequential scatter: progressive pruning along the sorted
+            # bound order (f_k only tightens, bounds only grow, so the
+            # first strict excess prunes every later shard too), each
+            # search warm-started from the merged result so far.
+            for bound, sid in candidates:
+                if bound > merged.fk:
+                    break
+                result = run(sid, merged if searched else None)
+                searched += 1
+                for nb in result:
+                    merged.offer(nb.user, nb.score, nb.social, nb.spatial)
+                stats.merge(result.stats)
+        elif candidates:
+            # Two-phase parallel scatter: the best-bound (home) shard
+            # establishes f_k, the surviving remainder fans out over the
+            # worker pool, each worker warm-started from the home result.
+            home = run(candidates[0][1])
+            searched += 1
+            for nb in home:
+                merged.offer(nb.user, nb.score, nb.social, nb.spatial)
+            stats.merge(home.stats)
+            survivors = [sid for bound, sid in candidates[1:] if not bound > merged.fk]
+            warm = merged
+            for result in self._pool.map(lambda sid: run(sid, warm), survivors):
+                searched += 1
+                for nb in result:
+                    merged.offer(nb.user, nb.score, nb.social, nb.spatial)
+                stats.merge(result.stats)
+
+        stats.extra["shards_searched"] = searched
+        stats.extra["shards_pruned"] = considered - searched
+        stats.elapsed = time.perf_counter() - start
+        self._record_scatter(1, considered, searched)
+        return SSRQResult(user, k, alpha, merged.neighbors(), stats)
+
+    def query_many(
+        self,
+        requests: "Iterable[int | QueryRequest]",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+        max_workers: int | None = None,
+    ) -> list[SSRQResult]:
+        """Service-backed batch execution, identical in contract to
+        :meth:`GeoSocialEngine.query_many` (results in request order,
+        rankings equal to a sequential :meth:`query` loop)."""
+        return _service_backed_query_many(
+            self, requests, k, alpha, method, t, max_workers
+        )
+
+    def scatter_info(self) -> dict:
+        """Cumulative scatter statistics snapshot."""
+        with self._scatter_lock:
+            return self.scatter.snapshot()
+
+    # -- dynamic locations ---------------------------------------------
+
+    def add_location_listener(
+        self, listener: Callable[[int, float | None, float | None], None]
+    ) -> None:
+        """Subscribe ``listener(user, x, y)`` to every location update
+        (same contract as the single engine's hook; the service layer's
+        cache invalidation plugs in here unchanged)."""
+        self._location_listeners.append(listener)
+
+    def remove_location_listener(
+        self, listener: Callable[[int, float | None, float | None], None]
+    ) -> None:
+        """Unsubscribe a location listener (no-op if absent)."""
+        try:
+            self._location_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def move_user(self, user: int, x: float, y: float) -> None:
+        """Process a location update, routing membership across shards.
+
+        A move within the owning shard's region updates that shard's
+        indexes in place; a *boundary crossing* removes the user from
+        the old shard's grid and aggregate index and inserts them into
+        the new owner's (building it on first use), all under this
+        engine's exclusive lock and with the shared location table
+        written exactly once.  Location listeners fire identically to
+        the single engine, so service-layer caches invalidate the same
+        entries either way.
+        """
+        check_user(user, self.graph.n)
+        with self.rw_lock.write_locked():
+            had_location = self.locations.has_location(user)
+            self.locations.set(user, x, y)
+            new_sid = self.partitioner.shard_of(x, y)
+            old_sid = self._owner.get(user)
+            if had_location and old_sid == new_sid:
+                self._engines[old_sid]._index_move(user, x, y)
+                self._bounds[old_sid].update_member(x, y)
+            else:
+                if had_location and old_sid is not None:
+                    self._engines[old_sid]._index_remove(user)
+                    self._bounds[old_sid].remove_member()
+                engine = self._engines.get(new_sid)
+                if engine is None:
+                    self._build_shard(new_sid, {user})
+                else:
+                    engine._index_insert(user, x, y)
+                    self._bounds[new_sid].add_member(x, y, self.landmarks.vector(user))
+                self._owner[user] = new_sid
+            self.update_epoch += 1
+            for listener in self._location_listeners:
+                listener(user, x, y)
+
+    def forget_location(self, user: int) -> None:
+        """Mark a user's location as unknown and de-index them from the
+        owning shard (exclusively, like :meth:`move_user`)."""
+        check_user(user, self.graph.n)
+        with self.rw_lock.write_locked():
+            if not self.locations.has_location(user):
+                return
+            old_sid = self._owner.pop(user)
+            self._engines[old_sid]._index_remove(user)
+            self._bounds[old_sid].remove_member()
+            self.locations.clear(user)
+            self.update_epoch += 1
+            for listener in self._location_listeners:
+                listener(user, None, None)
+
+    def refresh_bounds(self) -> None:
+        """Recompute every shard's pruning envelope exactly (tightens
+        widen-only bounds after sustained churn; exclusively)."""
+        xs, ys = self.locations.xs, self.locations.ys
+        vector = self.landmarks.vector
+        with self.rw_lock.write_locked():
+            for sid, engine in self._engines.items():
+                members = engine.index_users or set()
+                self._bounds[sid].refresh(
+                    (xs[u], ys[u], vector(u)) for u in members
+                )
+
+    # -- rebuild -------------------------------------------------------
+
+    def with_graph(self, graph: SocialGraph, **overrides) -> "ShardedGeoSocialEngine":
+        """A fresh sharded engine over ``graph`` with this engine's
+        parameters (see :meth:`GeoSocialEngine.with_graph`).  The
+        partitioner *instance* is reused — its regions are static, so a
+        custom or pre-fitted partitioner (and the shard layout) survive
+        the rebuild; per-shard fanout (``shard_s``) is preserved too."""
+        kwargs = dict(
+            partitioner=self.partitioner,
+            partitioner_kind=self.partitioner_kind,
+            max_workers=self.max_workers,
+            num_landmarks=self.landmarks.m,
+            landmark_strategy=self.landmark_strategy,
+            s=self.s,
+            shard_s=self.shard_s,
+            seed=self.seed,
+            normalization=self.normalization,
+            default_t=self.default_t,
+        )
+        kwargs.update(overrides)
+        return type(self)(graph, self.locations, **kwargs)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the scatter pool and any batch services.
+
+        Queries keep working — scatter falls back to the sequential
+        path once the pool is gone — so closing the swapped-out engine
+        after :meth:`~repro.service.QueryService.rebuild_engine` (which
+        calls this automatically) never breaks a straggling holder."""
+        self._pool.close()
+        _close_cached_services(self)
+
+    # -- introspection -------------------------------------------------
+
+    def located_users(self) -> Sequence[int]:
+        return list(self.locations.located_users())
+
+    def __repr__(self) -> str:
+        sizes = self.shard_sizes()
+        return (
+            f"ShardedGeoSocialEngine(n={self.graph.n}, shards={self.n_shards}, "
+            f"materialised={len(self._engines)}, members={sum(sizes.values())}, "
+            f"workers={self.max_workers})"
+        )

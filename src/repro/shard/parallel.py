@@ -1,0 +1,227 @@
+"""Process-backed scatter-gather: shard searches on real cores.
+
+The scatter fan-out of :class:`~repro.shard.ShardedGeoSocialEngine` is
+CPU-bound pure Python, so its thread pool only overlaps on GIL-free
+builds.  :class:`ProcessScatterPool` is the multi-core execution
+backend: it forks worker processes that inherit the fully-built shard
+engines copy-on-write (no index serialisation, no per-query state
+shipping) and fans per-shard searches of a *batch* out across them.
+
+Scatter protocol per batch (both rounds run in parallel across all
+queries and shards, preserving the exactness argument of
+:mod:`repro.shard.engine`):
+
+1. **Home round** — every distinct query searches its best-bound (home)
+   shard cold, establishing a per-query threshold ``f_k``.
+2. **Verify round** — for each query, shards whose ``MINF`` bound does
+   not strictly exceed ``f_k`` run warm-started with the home result
+   (threshold propagation), usually terminating after a bound check.
+3. **Merge** — candidate streams combine through
+   :func:`~repro.topk.merge.merge_topk`, reproducing the single-engine
+   ranking exactly.
+
+Workers see a *snapshot*: the pool records the engine's update epoch at
+fork time and re-forks transparently when location updates have been
+applied since — serving-replica semantics, cheap because fork is
+copy-on-write.  Requires the ``fork`` start method (POSIX); on
+platforms without it, construction raises and callers fall back to the
+in-process scatter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+from repro.core.result import SSRQResult, TopKBuffer
+from repro.core.stats import SearchStats
+from repro.service.model import QueryRequest
+from repro.topk.merge import merge_topk
+
+#: worker-side engine reference, set by the pool initializer (the fork
+#: start method passes initargs by memory inheritance, not pickling, so
+#: auto-respawned replacement workers re-run the initializer with the
+#: same engine and never see a stale or empty global)
+_WORKER_ENGINE = None
+
+
+def _init_worker(engine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _run_shard_task(task):
+    """Worker-side execution of one (shard, query) search."""
+    sid, user, k, alpha, method, t, warm = task
+    engine = _WORKER_ENGINE._engines[sid]
+    initial = None
+    if warm is not None:
+        initial = TopKBuffer(k)
+        for u, score, social, spatial in warm:
+            initial.offer(u, score, social, spatial)
+    return engine.query(user, k, alpha, method, t=t, initial=initial)
+
+
+class ProcessScatterPool:
+    """Multi-core batch scatter over a sharded engine.
+
+        >>> from repro import gowalla_like
+        >>> from repro.shard import ShardedGeoSocialEngine
+        >>> from repro.shard.parallel import ProcessScatterPool
+        >>> engine = ShardedGeoSocialEngine.from_dataset(
+        ...     gowalla_like(n=300, seed=7), n_shards=2)
+        >>> a, b = list(engine.located_users())[:2]
+        >>> pool = ProcessScatterPool(engine, processes=2)
+        >>> results = pool.query_many([a, b], k=5, alpha=0.3)
+        >>> [r.users for r in results] == [engine.query(u, k=5).users for u in (a, b)]
+        True
+        >>> pool.close()
+
+    Parameters
+    ----------
+    engine:
+        A built :class:`~repro.shard.ShardedGeoSocialEngine`.
+    processes:
+        Worker count (default ``min(cpus, n_shards, 8)``).
+
+    Not thread-safe: one coordinator drives the pool.  Location updates
+    applied to ``engine`` between batches are picked up automatically
+    (epoch check + re-fork); updates *during* a batch are the caller's
+    responsibility to exclude, exactly as with ``engine.query``.
+    """
+
+    def __init__(self, engine, processes: int | None = None) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessScatterPool requires the 'fork' start method "
+                "(POSIX); use the engine's in-process scatter instead"
+            )
+        self.engine = engine
+        self.processes = (
+            processes
+            if processes is not None
+            else max(1, min(os.cpu_count() or 1, engine.n_shards, 8))
+        )
+        self._ctx = multiprocessing.get_context("fork")
+        self._pool = None
+        self._forked_epoch = -1
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self):
+        epoch = self.engine.update_epoch
+        if self._pool is not None and epoch == self._forked_epoch:
+            return self._pool
+        self._teardown()
+        self._pool = self._ctx.Pool(
+            self.processes, initializer=_init_worker, initargs=(self.engine,)
+        )
+        self._forked_epoch = epoch
+        return self._pool
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        self._teardown()
+        self._forked_epoch = -1
+
+    def __enter__(self) -> "ProcessScatterPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------
+
+    def query_many(
+        self,
+        requests: "Sequence[int | QueryRequest]",
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> list[SSRQResult]:
+        """Answer a batch with rankings identical to a sequential
+        ``engine.query`` loop, fanning shard searches across worker
+        processes (duplicate requests are computed once)."""
+        reqs = [
+            QueryRequest.coerce(item, k=k, alpha=alpha, method=method, t=t)
+            for item in requests
+        ]
+        distinct: dict[QueryRequest, None] = dict.fromkeys(reqs)
+        computed = self._execute_distinct(list(distinct))
+        return [computed[req] for req in reqs]
+
+    def _execute_distinct(
+        self, reqs: "list[QueryRequest]"
+    ) -> "dict[QueryRequest, SSRQResult]":
+        engine = self.engine
+        pool = self._ensure_pool()
+        out: dict[QueryRequest, SSRQResult] = {}
+
+        # Plan per query: delegated methods and unlocated users take the
+        # inline path (they never scatter); the rest get a sorted
+        # candidate-shard list from the pruning bounds.
+        plans: list[tuple[QueryRequest, list[tuple[float, int]]]] = []
+        for req in reqs:
+            candidates = engine._scatter_plan(req.user, req.alpha, req.method)
+            if candidates is None:
+                out[req] = engine.query(req.user, req.k, req.alpha, req.method, t=req.t)
+            else:
+                plans.append((req, candidates))
+
+        if not plans:
+            return out
+
+        # Round 1: home shards, cold, in parallel.
+        home_tasks = [
+            (cands[0][1], req.user, req.k, req.alpha, req.method, req.t, None)
+            for req, cands in plans
+        ]
+        homes = pool.map(_run_shard_task, home_tasks)
+
+        # Round 2: surviving shards, warm-started, in parallel.
+        verify_tasks = []
+        verify_owner: list[int] = []
+        merged_buffers: list[TopKBuffer] = []
+        stats_list: list[SearchStats] = []
+        searched = [1] * len(plans)
+        considered = [len(cands) for _, cands in plans]
+        for i, ((req, cands), home) in enumerate(zip(plans, homes)):
+            merged = merge_topk(req.k, [home.neighbors])
+            merged_buffers.append(merged)
+            stats = SearchStats()
+            stats.merge(home.stats)
+            stats_list.append(stats)
+            warm = [
+                (nb.user, nb.score, nb.social, nb.spatial) for nb in merged.neighbors()
+            ]
+            for bound, sid in cands[1:]:
+                if bound > merged.fk:
+                    continue
+                verify_tasks.append(
+                    (sid, req.user, req.k, req.alpha, req.method, req.t, warm)
+                )
+                verify_owner.append(i)
+        for i, result in zip(verify_owner, pool.map(_run_shard_task, verify_tasks)):
+            searched[i] += 1
+            merged = merged_buffers[i]
+            for nb in result:
+                merged.offer(nb.user, nb.score, nb.social, nb.spatial)
+            stats_list[i].merge(result.stats)
+
+        for i, (req, cands) in enumerate(plans):
+            stats = stats_list[i]
+            stats.extra["shards_searched"] = searched[i]
+            stats.extra["shards_pruned"] = considered[i] - searched[i]
+            out[req] = SSRQResult(
+                req.user, req.k, req.alpha, merged_buffers[i].neighbors(), stats
+            )
+        engine._record_scatter(len(plans), sum(considered), sum(searched))
+        return out

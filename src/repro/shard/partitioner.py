@@ -1,0 +1,251 @@
+"""Spatial partitioners: user → shard assignment by location.
+
+A :class:`Partitioner` is a pure, total function from a coordinate to a
+shard id.  Totality matters — the dynamic-location setting moves users
+anywhere, including outside the bounding box the partitioner was fitted
+on — so every partitioner treats its outermost regions as unbounded
+(grid cells clamp, k-d half-planes extend to infinity).
+
+Two concrete families:
+
+- :class:`GridPartitioner` — an ``nx x ny`` regular tiling of the data
+  bounding box, the spatial analogue of the single-level SPA grid;
+- :class:`KDTreePartitioner` — recursive median splits of the located
+  population, yielding balanced shards even under skewed ("urban")
+  spatial distributions.
+
+Unlocated users belong to no shard: at ``alpha < 1`` they cannot score
+finitely (their spatial distance is infinite), and pure-social queries
+bypass the spatial partitioning entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.spatial.point import BBox, LocationTable
+
+
+class Partitioner(ABC):
+    """Assignment of the plane to ``n_shards`` disjoint regions.
+
+        >>> from repro import LocationTable
+        >>> from repro.shard import GridPartitioner
+        >>> table = LocationTable.from_dict(4, {0: (0.1, 0.1), 1: (0.9, 0.9)})
+        >>> part = GridPartitioner.fit(table, 4)
+        >>> part.n_shards, part.shard_of(0.1, 0.1) != part.shard_of(0.9, 0.9)
+        (4, True)
+    """
+
+    @property
+    @abstractmethod
+    def n_shards(self) -> int:
+        """Number of regions (shard ids are ``0 .. n_shards - 1``)."""
+
+    @abstractmethod
+    def shard_of(self, x: float, y: float) -> int:
+        """The shard owning point ``(x, y)`` (total over the plane)."""
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"{type(self).__name__}(n_shards={self.n_shards})"
+
+
+class GridPartitioner(Partitioner):
+    """Regular ``nx x ny`` tiling of a bounding box.
+
+    Points outside the fitted box clamp to the border tiles, so border
+    regions are conceptually unbounded outward — exactly like the SPA
+    grid's border cells.
+
+        >>> from repro.shard import GridPartitioner
+        >>> from repro.spatial.point import BBox
+        >>> part = GridPartitioner(BBox(0.0, 0.0, 1.0, 1.0), nx=2, ny=2)
+        >>> [part.shard_of(x, y) for x, y in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9), (5.0, 5.0)]]
+        [0, 1, 2, 3]
+    """
+
+    def __init__(self, bbox: BBox, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise ValueError(f"grid must be at least 1x1, got {nx}x{ny}")
+        self.bbox = bbox
+        self.nx = nx
+        self.ny = ny
+        self.cell_w = (bbox.width / nx) or 1.0
+        self.cell_h = (bbox.height / ny) or 1.0
+
+    @property
+    def n_shards(self) -> int:
+        return self.nx * self.ny
+
+    def shard_of(self, x: float, y: float) -> int:
+        ix = int((x - self.bbox.minx) / self.cell_w)
+        iy = int((y - self.bbox.miny) / self.cell_h)
+        if ix < 0:
+            ix = 0
+        elif ix >= self.nx:
+            ix = self.nx - 1
+        if iy < 0:
+            iy = 0
+        elif iy >= self.ny:
+            iy = self.ny - 1
+        return iy * self.nx + ix
+
+    @classmethod
+    def fit(cls, locations: LocationTable, n_shards: int) -> "GridPartitioner":
+        """A tiling of the located users' bounding box into exactly
+        ``n_shards`` tiles, the longer box side getting the larger
+        factor (7 shards over a wide box → 7 columns)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        bbox = locations.bbox()
+        small = int(math.isqrt(n_shards))
+        while n_shards % small:
+            small -= 1
+        large = n_shards // small
+        if bbox.width >= bbox.height:
+            nx, ny = large, small
+        else:
+            nx, ny = small, large
+        return cls(bbox, nx, ny)
+
+    def describe(self) -> str:
+        return f"GridPartitioner({self.nx}x{self.ny} over {self.bbox!r})"
+
+
+@dataclass(frozen=True)
+class _Split:
+    """Internal k-d node: ``axis == 0`` splits on x, ``1`` on y; points
+    with coordinate < ``threshold`` descend left."""
+
+    axis: int
+    threshold: float
+    left: "object"  # _Split | int (leaf shard id)
+    right: "object"
+
+
+class KDTreePartitioner(Partitioner):
+    """Balanced binary-space partitioning by recursive median splits.
+
+    Fitting repeatedly splits the most populous region at the median of
+    its wider axis until ``n_shards`` regions exist — so any shard
+    count is supported, not just powers of two — then numbers leaves in
+    a deterministic in-order walk.  Half-planes extend to infinity:
+    every point of the plane, including future out-of-box moves, has an
+    owner.
+
+        >>> from repro import LocationTable
+        >>> from repro.shard import KDTreePartitioner
+        >>> table = LocationTable.from_dict(
+        ...     4, {0: (0.0, 0.0), 1: (0.1, 0.0), 2: (0.9, 1.0), 3: (1.0, 1.0)})
+        >>> part = KDTreePartitioner.fit(table, 2)
+        >>> part.shard_of(0.05, 0.0) != part.shard_of(0.95, 1.0)
+        True
+    """
+
+    def __init__(self, root: "object", n_shards: int) -> None:
+        self._root = root
+        self._n_shards = n_shards
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def shard_of(self, x: float, y: float) -> int:
+        node = self._root
+        while isinstance(node, _Split):
+            coord = x if node.axis == 0 else y
+            node = node.left if coord < node.threshold else node.right
+        return node
+
+    @classmethod
+    def fit(cls, locations: LocationTable, n_shards: int) -> "KDTreePartitioner":
+        """Fit to the located users (requires at least one)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        points = [
+            (locations.xs[u], locations.ys[u]) for u in locations.located_users()
+        ]
+        if not points:
+            raise ValueError("cannot fit a partitioner with no located users")
+        def split_leaf(pts: list[tuple[float, float]]):
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            spread_x = (max(xs) - min(xs)) if xs else 0.0
+            spread_y = (max(ys) - min(ys)) if ys else 0.0
+            axis = 0 if spread_x >= spread_y else 1
+            ordered = sorted(p[axis] for p in pts)
+            mid = len(ordered) // 2
+            threshold = (ordered[mid - 1] + ordered[mid]) / 2.0 if mid else ordered[0]
+            left = [p for p in pts if p[axis] < threshold]
+            right = [p for p in pts if p[axis] >= threshold]
+            if not left or not right:
+                # Degenerate (all coordinates equal on this axis): try the
+                # other axis, else accept an empty side — empty shards are
+                # legal and simply never searched.
+                other = 1 - axis
+                ordered_o = sorted(p[other] for p in pts)
+                mid_o = len(ordered_o) // 2
+                threshold_o = (
+                    (ordered_o[mid_o - 1] + ordered_o[mid_o]) / 2.0 if mid_o else ordered_o[0]
+                )
+                left_o = [p for p in pts if p[other] < threshold_o]
+                right_o = [p for p in pts if p[other] >= threshold_o]
+                if left_o and right_o:
+                    return other, threshold_o, left_o, right_o
+            return axis, threshold, left, right
+
+        # A small recursive structure: node = leaf(list) | (axis, thr, l, r)
+        def grow(node, remaining: int):
+            """Split `node` (a point list) into `remaining` leaves."""
+            if remaining <= 1:
+                return node
+            axis, threshold, left, right = split_leaf(node)
+            # Apportion leaf budget by population (at least one each).
+            total = len(left) + len(right)
+            left_budget = round(remaining * (len(left) / total)) if total else remaining // 2
+            left_budget = max(1, min(remaining - 1, left_budget))
+            return (
+                axis,
+                threshold,
+                grow(left, left_budget),
+                grow(right, remaining - left_budget),
+            )
+
+        shape = grow(points, n_shards)
+
+        counter = [0]
+
+        def materialise(node):
+            if isinstance(node, tuple):
+                axis, threshold, left, right = node
+                left_m = materialise(left)
+                right_m = materialise(right)
+                return _Split(axis, threshold, left_m, right_m)
+            leaf_id = counter[0]
+            counter[0] += 1
+            return leaf_id
+
+        root = materialise(shape)
+        if counter[0] != n_shards:
+            raise AssertionError(
+                f"partitioner produced {counter[0]} leaves, wanted {n_shards}"
+            )
+        return cls(root, n_shards)
+
+    def describe(self) -> str:
+        return f"KDTreePartitioner(n_shards={self._n_shards})"
+
+
+def make_partitioner(
+    locations: LocationTable, n_shards: int, kind: str = "grid"
+) -> Partitioner:
+    """Fit a partitioner of the requested ``kind`` (``"grid"`` or
+    ``"kd"``) to the located users."""
+    if kind == "grid":
+        return GridPartitioner.fit(locations, n_shards)
+    if kind == "kd":
+        return KDTreePartitioner.fit(locations, n_shards)
+    raise ValueError(f"unknown partitioner kind {kind!r}; choose 'grid' or 'kd'")

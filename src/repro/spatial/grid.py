@@ -14,7 +14,7 @@ of distances, and border cells are conceptually unbounded outward.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.spatial.point import BBox, LocationTable
 
@@ -40,11 +40,25 @@ class UniformGrid:
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def build(cls, locations: LocationTable, resolution: int) -> "UniformGrid":
-        """Build a grid over every located user in ``locations``."""
-        grid = cls(locations.bbox(), resolution)
+    def build(
+        cls,
+        locations: LocationTable,
+        resolution: int,
+        users: Iterable[int] | None = None,
+    ) -> "UniformGrid":
+        """Build a grid over every located user in ``locations``.
+
+        With ``users``, only that subset is indexed (unlocated members
+        are skipped) and the grid extent is the subset's bounding box —
+        the member-filtered form a spatial shard uses.
+        """
+        if users is None:
+            members = list(locations.located_users())
+        else:
+            members = [u for u in users if locations.has_location(u)]
+        grid = cls(locations.bbox(members), resolution)
         xs, ys = locations.xs, locations.ys
-        for user in locations.located_users():
+        for user in members:
             grid.insert(user, xs[user], ys[user])
         return grid
 

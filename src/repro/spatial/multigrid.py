@@ -18,7 +18,7 @@ social summaries.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.spatial.grid import UniformGrid
 from repro.spatial.point import BBox, LocationTable
@@ -41,10 +41,21 @@ class MultiLevelGrid:
         self.leaf_grid = UniformGrid(bbox, s * s)
 
     @classmethod
-    def build(cls, locations: LocationTable, s: int) -> "MultiLevelGrid":
-        grid = cls(locations.bbox(), s)
+    def build(
+        cls,
+        locations: LocationTable,
+        s: int,
+        users: Iterable[int] | None = None,
+    ) -> "MultiLevelGrid":
+        """Index every located user (or, with ``users``, only the
+        located members of that subset over the subset's extent)."""
+        if users is None:
+            members = list(locations.located_users())
+        else:
+            members = [u for u in users if locations.has_location(u)]
+        grid = cls(locations.bbox(members), s)
         xs, ys = locations.xs, locations.ys
-        for user in locations.located_users():
+        for user in members:
             grid.leaf_grid.insert(user, xs[user], ys[user])
         return grid
 

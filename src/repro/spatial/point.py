@@ -188,9 +188,14 @@ class LocationTable:
             return INF
         return math.hypot(ux - x, self.ys[u] - y)
 
-    def bbox(self) -> BBox:
-        """Bounding box of all known locations."""
-        pts = ((self.xs[u], self.ys[u]) for u in self.located_users())
+    def bbox(self, users: Iterable[int] | None = None) -> BBox:
+        """Bounding box of all known locations (or, with ``users``, of
+        the located users in that subset — the extent a spatially
+        partitioned index covers)."""
+        candidates = self.located_users() if users is None else (
+            u for u in users if self.has_location(u)
+        )
+        pts = ((self.xs[u], self.ys[u]) for u in candidates)
         return BBox.of_points(pts)
 
     # -- mutation ------------------------------------------------------

@@ -11,7 +11,9 @@ smaller aggregate scores are better):
 - :func:`~repro.topk.ca.combined_algorithm` — CA (one random access per
   ``κ`` sorted accesses);
 - :class:`~repro.topk.quick_combine.QuickCombinePolicy` — the
-  probe-scheduling heuristic that TSA-QC plugs into the twofold search.
+  probe-scheduling heuristic that TSA-QC plugs into the twofold search;
+- :func:`~repro.topk.merge.merge_topk` — exact-score stream
+  combination (the scatter-gather combiner of the sharded engine).
 
 TSA (Section 4.2) is a TA/NRA hybrid: sorted+random access in the
 spatial domain, sorted-only in the social domain.  These standalone
@@ -20,6 +22,7 @@ against brute force.
 """
 
 from repro.topk.ca import combined_algorithm
+from repro.topk.merge import merge_topk
 from repro.topk.nra import no_random_access
 from repro.topk.quick_combine import QuickCombinePolicy
 from repro.topk.sources import SortedSource
@@ -31,4 +34,5 @@ __all__ = [
     "no_random_access",
     "combined_algorithm",
     "QuickCombinePolicy",
+    "merge_topk",
 ]

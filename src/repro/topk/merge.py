@@ -1,0 +1,43 @@
+"""Scatter-gather combination of ranked candidate streams.
+
+The sharded engine answers one SSRQ by running per-shard top-k searches
+and combining their candidate streams.  Because every shard reports
+*exact* scores (shards share the graph, the location table, and the
+normalization), the combine step is the degenerate — and cheapest —
+member of the threshold-algorithm family this package implements: pure
+random-access aggregation into the paper's interim result ``R``
+(:class:`~repro.core.result.TopKBuffer`), whose ``(score, user)``
+tie-break makes the merged ranking bit-identical to a single engine's.
+
+Duplicates across streams (e.g. a socially-settled user reported by two
+shards) collapse automatically: a user's score is a deterministic
+function of the query, and the buffer ignores re-offers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.result import Neighbor, TopKBuffer
+
+
+def merge_topk(k: int, streams: Iterable[Iterable[Neighbor]]) -> TopKBuffer:
+    """Merge ranked candidate streams into one top-``k`` buffer.
+
+    Every stream yields :class:`~repro.core.result.Neighbor` entries
+    with exact scores; the result is the global top-``k`` over the
+    union of all streams, ties broken toward smaller user ids exactly
+    as every single-engine algorithm breaks them.
+
+        >>> from repro.core.result import Neighbor
+        >>> from repro.topk.merge import merge_topk
+        >>> a = [Neighbor(1, 0.2, 0.1, 0.3), Neighbor(5, 0.6, 0.5, 0.7)]
+        >>> b = [Neighbor(2, 0.4, 0.3, 0.5), Neighbor(1, 0.2, 0.1, 0.3)]
+        >>> [nb.user for nb in merge_topk(2, [a, b]).neighbors()]
+        [1, 2]
+    """
+    buffer = TopKBuffer(k)
+    for stream in streams:
+        for nb in stream:
+            buffer.offer(nb.user, nb.score, nb.social, nb.spatial)
+    return buffer

@@ -51,6 +51,11 @@ DOCUMENTED_MODULES = [
     "repro.service.model",
     "repro.service.cache",
     "repro.service.service",
+    "repro.shard.engine",
+    "repro.shard.partitioner",
+    "repro.shard.bounds",
+    "repro.shard.parallel",
+    "repro.topk.merge",
     "repro.utils.concurrency",
     "repro.bench.service_workload",
 ]

@@ -34,6 +34,7 @@ def test_examples_exist():
         "location_updates.py",
         "algorithm_comparison.py",
         "service_quickstart.py",
+        "sharded_quickstart.py",
     } <= present
 
 
@@ -64,3 +65,10 @@ def test_service_quickstart_runs():
     assert "batched rankings identical to sequential engine.query: True" in out
     assert "verified against brute force: True" in out
     assert "epoch-based full invalidation" in out
+
+
+def test_sharded_quickstart_runs():
+    out = run_example("sharded_quickstart.py")
+    assert "identical to the single engine: True" in out
+    assert "cached before move: True, after move: False" in out
+    assert "cumulative scatter stats" in out

@@ -20,12 +20,13 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.bench",
     "repro.service",
+    "repro.shard",
     "repro.utils",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_all_exports_resolve():
