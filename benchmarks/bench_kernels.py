@@ -1,0 +1,136 @@
+"""Kernel microbenchmark: scalar vs vectorized data-plane primitives.
+
+Times the three hot-loop kernels (Euclidean distance to a query point,
+ALT landmark lower bounds, α-blended scoring) plus the composite
+"bulk score" pipeline (distance + ALT bound + blend + top-k selection —
+what ``bruteforce`` and the AIS leaf expansion actually run) at
+``n ∈ {1e3, 1e4, 1e5}`` for both backends.
+
+Run standalone (prints the table and asserts the acceptance gate:
+the vectorized composite must be ≥ 5x the scalar one at n = 1e5)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+
+Set ``REPRO_KERNELS_GATE=report`` to print without asserting (the
+report-only mode CI uses on noisy shared runners).  Without NumPy the
+script reports the scalar timings and skips the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+
+from repro.backend import HAS_NUMPY, PythonKernels, resolve_backend
+
+INF = math.inf
+
+SIZES = (1_000, 10_000, 100_000)
+GATE_SIZE = 100_000
+GATE_SPEEDUP = 5.0
+M_LANDMARKS = 8
+K = 30
+REPEATS = 5
+
+
+class _Tables:
+    """Duck-typed landmark tables (``dist`` rows + ``matrix``) with the
+    inf-pattern of a real index: a fraction of disconnected vertices."""
+
+    def __init__(self, m: int, n: int, rng: random.Random) -> None:
+        self.dist = [
+            [rng.uniform(0.0, 8.0) if rng.random() > 0.02 else INF for _ in range(n)]
+            for _ in range(m)
+        ]
+        if HAS_NUMPY:
+            import numpy as np
+
+            self.matrix = np.array(self.dist, dtype=np.float64)
+        else:  # pragma: no cover - numpy-less environments
+            self.matrix = None
+
+
+def _dataset(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    xs = [rng.random() if rng.random() > 0.1 else math.nan for _ in range(n)]
+    ys = [rng.random() if x == x else math.nan for x in xs]
+    tables = _Tables(M_LANDMARKS, n, rng)
+    query_vector = tuple(rng.uniform(0.0, 8.0) for _ in range(M_LANDMARKS))
+    ids = list(range(n))
+    if HAS_NUMPY:
+        import numpy as np
+
+        xs = np.array(xs)
+        ys = np.array(ys)
+        ids = np.arange(n, dtype=np.intp)
+    return xs, ys, tables, query_vector, ids
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = INF
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _bench_backend(kernels, xs, ys, tables, query_vector, ids):
+    qx, qy = 0.5, 0.5
+    w_social, w_spatial = 0.3 / 8.0, 0.7 / 1.4142
+
+    def composite():
+        d = kernels.euclidean_to_point(xs, ys, qx, qy, ids)
+        lb = kernels.alt_lower_bounds(tables, query_vector, ids)
+        scores = kernels.blend(w_social, w_spatial, lb, d)
+        kernels.top_k_by_score(scores, ids, K)
+
+    distance = _best_of(lambda: kernels.euclidean_to_point(xs, ys, qx, qy, ids))
+    alt = _best_of(lambda: kernels.alt_lower_bounds(tables, query_vector, ids))
+    d = kernels.euclidean_to_point(xs, ys, qx, qy, ids)
+    lb = kernels.alt_lower_bounds(tables, query_vector, ids)
+    blend = _best_of(lambda: kernels.blend(w_social, w_spatial, lb, d))
+    bulk = _best_of(composite)
+    return {"distance": distance, "alt_bound": alt, "blend": blend, "bulk_score": bulk}
+
+
+def main() -> None:
+    report_only = os.environ.get("REPRO_KERNELS_GATE", "").lower() == "report"
+    backends = [PythonKernels()]
+    if HAS_NUMPY:
+        backends.append(resolve_backend("numpy"))
+    else:
+        print("numpy unavailable: reporting scalar timings only, gate skipped")
+
+    print(f"{'n':>8}  {'kernel':<12} " + "".join(f"{b.name:>12} " for b in backends) + f"{'speedup':>9}")
+    gate_speedup = None
+    for n in SIZES:
+        xs, ys, tables, query_vector, ids = _dataset(n)
+        results = {b.name: _bench_backend(b, xs, ys, tables, query_vector, ids) for b in backends}
+        for kernel in ("distance", "alt_bound", "blend", "bulk_score"):
+            row = f"{n:>8}  {kernel:<12} "
+            for b in backends:
+                row += f"{results[b.name][kernel] * 1e3:>10.3f}ms "
+            if len(backends) == 2:
+                speedup = results["python"][kernel] / max(results["numpy"][kernel], 1e-12)
+                row += f"{speedup:>8.1f}x"
+                if n == GATE_SIZE and kernel == "bulk_score":
+                    gate_speedup = speedup
+            print(row)
+        print()
+
+    if gate_speedup is not None:
+        verdict = f"bulk scoring at n={GATE_SIZE}: {gate_speedup:.1f}x (gate: >= {GATE_SPEEDUP}x)"
+        if report_only:
+            print(f"[report-only] {verdict}")
+        else:
+            assert gate_speedup >= GATE_SPEEDUP, verdict
+            print(f"PASS {verdict}")
+
+
+if __name__ == "__main__":
+    main()

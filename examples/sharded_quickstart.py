@@ -29,6 +29,7 @@ def main() -> None:
     )
     print(f"engine : {single!r}")
     print(f"sharded: {sharded!r}")
+    print(f"active backend: {sharded.backend} (kernels: {type(sharded.kernels).__name__})")
     print(f"shard populations: {sharded.shard_sizes()}")
 
     # 1. identical rankings, shard pruning at work

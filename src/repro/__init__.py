@@ -25,6 +25,7 @@ Quickstart::
         print(nb.user, nb.score, nb.social, nb.spatial)
 """
 
+from repro.backend import resolve_backend
 from repro.core.ais import AggregateIndexSearch, AISVariant
 from repro.core.bruteforce import BruteForceSearch
 from repro.core.engine import METHODS, GeoSocialEngine
@@ -52,12 +53,13 @@ from repro.service.service import QueryService
 from repro.shard.engine import ShardedGeoSocialEngine
 from repro.spatial.point import BBox, LocationTable
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     # engine & algorithms
     "GeoSocialEngine",
+    "resolve_backend",
     "METHODS",
     "SocialFirstSearch",
     "SpatialFirstSearch",

@@ -1,0 +1,236 @@
+"""The ``Kernels`` protocol and its scalar reference implementation.
+
+A *kernel* is one of the few bulk primitives every SSRQ hot loop is
+made of, lifted from per-user scalar calls to whole candidate arrays:
+
+==========================  ==========================================
+``euclidean_to_point``      distances from a query point to a batch of
+                            users (``NaN`` coordinates → ``inf``)
+``alt_lower_bounds``        per-user ALT landmark lower bounds on the
+                            social distance (Lemma 2's vertex form)
+``blend``                   the α-blended rank score
+                            ``w_social·p + w_spatial·d`` with the
+                            zero-weight/∞ contract of
+                            :class:`~repro.core.ranking.RankingFunction`
+``top_k_by_score``          smallest-``(score, id)`` selection with the
+                            deterministic smaller-id tie-break
+``nanbbox``                 coordinate envelope of a user batch
+``summary_minmax``          per-landmark min/max over a user batch (the
+                            ``(m̌, m̂)`` social-summary vectors)
+==========================  ==========================================
+
+:class:`PythonKernels` is the *extracted* scalar behavior — the exact
+loops the algorithms ran before the columnar refactor, kept as the
+semantics oracle.  :class:`~repro.backend.numpy_backend.NumpyKernels`
+vectorizes the same contracts; because every floating-point operation
+involved (``-``, ``*``, ``+``, ``sqrt``, ``abs``, comparisons) is
+IEEE-exact elementwise, the two backends produce *bit-identical*
+scores, rankings, and tie-breaks — a property the backend-equivalence
+test suite pins rather than assumes.
+
+Kernels accept user batches as any integer sequence (Python lists or
+``intp`` id-arrays from :meth:`repro.spatial.grid.UniformGrid.ids_in`)
+and coordinate columns as whatever
+:meth:`repro.spatial.point.LocationTable.columns` stores.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.landmarks import LandmarkIndex
+
+INF = math.inf
+_sqrt = math.sqrt
+
+
+@runtime_checkable
+class Kernels(Protocol):
+    """Batched evaluation primitives behind every candidate loop."""
+
+    #: backend identifier ("python" / "numpy")
+    name: str
+    #: whether bulk calls are array-vectorized — introspection only
+    #: (callers batch unconditionally; the scalar backend loops inside
+    #: the kernel, so both shapes share one code path)
+    vectorized: bool
+
+    def euclidean_to_point(
+        self, xs, ys, qx: float, qy: float, ids=None
+    ) -> Sequence[float]:
+        """Distances from ``(qx, qy)`` to users ``ids`` (all users when
+        ``None``), aligned with ``ids``; unknown locations (and an
+        unknown query point) yield ``inf``."""
+        ...
+
+    def alt_lower_bounds(
+        self, landmarks: "LandmarkIndex", query_vector: Sequence[float], ids
+    ) -> Sequence[float]:
+        """Per-user ALT lower bounds ``p̌(v_q, v_i) = max_j |m_qj − m_ij|``
+        over the landmark tables (``inf`` when exactly one side is
+        disconnected from some landmark; uninformative landmarks
+        contribute 0)."""
+        ...
+
+    def blend(
+        self, w_social: float, w_spatial: float, social, spatial
+    ) -> Sequence[float]:
+        """α-blended scores ``w_social·p + w_spatial·d`` where a
+        zero-weight term contributes exactly 0 even at ``p``/``d`` =
+        ``inf`` (the :class:`~repro.core.ranking.RankingFunction`
+        contract)."""
+        ...
+
+    def top_k_by_score(self, scores, ids, k: int) -> list[int]:
+        """Positions of the ``k`` smallest entries by ``(score, id)``
+        (deterministic smaller-id tie-break), in ascending order;
+        ``inf``/NaN scores never qualify."""
+        ...
+
+    def nanbbox(self, xs, ys, ids=None) -> tuple[float, float, float, float] | None:
+        """``(minx, miny, maxx, maxy)`` over the known locations of
+        ``ids`` (all users when ``None``); ``None`` when none are
+        located."""
+        ...
+
+    def summary_minmax(
+        self, landmarks: "LandmarkIndex", ids
+    ) -> tuple[list[float], list[float]]:
+        """The ``(m̌, m̂)`` social-summary vectors over ``ids``: per
+        landmark, the min and max distance among the batch."""
+        ...
+
+    def dense_from_dict(self, n: int, mapping: dict, default: float) -> Sequence[float]:
+        """A dense length-``n`` column with ``mapping``'s values at its
+        keys and ``default`` elsewhere (marshals e.g. a Dijkstra
+        distance dict into kernel-ready form)."""
+        ...
+
+    def count_finite(self, values) -> int:
+        """Number of finite (non-``inf``, non-NaN) entries."""
+        ...
+
+
+class PythonKernels:
+    """Scalar kernels: the pre-refactor per-user loops, verbatim.
+
+        >>> from repro.backend import PythonKernels
+        >>> kernels = PythonKernels()
+        >>> list(kernels.blend(0.5, 0.0, [2.0, float("inf")], [1.0, 1.0]))
+        [1.0, inf]
+    """
+
+    name = "python"
+    vectorized = False
+
+    def euclidean_to_point(self, xs, ys, qx, qy, ids=None):
+        if qx != qx or qy != qy:
+            n = len(xs) if ids is None else len(ids)
+            return [INF] * n
+        out = []
+        append = out.append
+        if ids is None:
+            for ux, uy in zip(xs, ys):
+                if ux != ux or uy != uy:
+                    append(INF)
+                else:
+                    dx = qx - ux
+                    dy = qy - uy
+                    append(_sqrt(dx * dx + dy * dy))
+            return out
+        for u in ids:
+            ux = xs[u]
+            uy = ys[u]
+            if ux != ux or uy != uy:
+                append(INF)
+            else:
+                dx = qx - ux
+                dy = qy - uy
+                append(_sqrt(dx * dx + dy * dy))
+        return out
+
+    def alt_lower_bounds(self, landmarks, query_vector, ids):
+        rows = landmarks.dist
+        out = []
+        append = out.append
+        for u in ids:
+            best = 0.0
+            for j, mqj in enumerate(query_vector):
+                mij = rows[j][u]
+                if mqj == mij:
+                    continue
+                if mqj == INF or mij == INF:
+                    best = INF
+                    break
+                diff = mqj - mij if mqj > mij else mij - mqj
+                if diff > best:
+                    best = diff
+            append(best)
+        return out
+
+    def blend(self, w_social, w_spatial, social, spatial):
+        if w_social == 0.0:
+            if w_spatial == 0.0:
+                return [0.0] * len(spatial)
+            return [w_spatial * d for d in spatial]
+        if w_spatial == 0.0:
+            return [w_social * p for p in social]
+        return [w_social * p + w_spatial * d for p, d in zip(social, spatial)]
+
+    def top_k_by_score(self, scores, ids, k):
+        finite = [
+            (s, ids[i], i) for i, s in enumerate(scores) if s == s and s != INF
+        ]
+        return [i for _, _, i in heapq.nsmallest(k, finite)]
+
+    def nanbbox(self, xs, ys, ids=None):
+        minx = miny = INF
+        maxx = maxy = -INF
+        located = False
+        it = range(len(xs)) if ids is None else ids
+        for u in it:
+            x = xs[u]
+            y = ys[u]
+            if x != x or y != y:
+                continue
+            located = True
+            if x < minx:
+                minx = x
+            if x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            if y > maxy:
+                maxy = y
+        if not located:
+            return None
+        return (minx, miny, maxx, maxy)
+
+    def summary_minmax(self, landmarks, ids):
+        rows = landmarks.dist
+        m_check = [INF] * len(rows)
+        m_hat = [-INF] * len(rows)
+        for j, row in enumerate(rows):
+            lo = INF
+            hi = -INF
+            for u in ids:
+                value = row[u]
+                if value < lo:
+                    lo = value
+                if value > hi:
+                    hi = value
+            m_check[j] = lo
+            m_hat[j] = hi
+        return m_check, m_hat
+
+    def dense_from_dict(self, n, mapping, default):
+        column = [default] * n
+        for key, value in mapping.items():
+            column[key] = value
+        return column
+
+    def count_finite(self, values):
+        return sum(1 for v in values if v == v and v != INF and v != -INF)

@@ -42,7 +42,7 @@ from repro.graph.bidirectional import BidirectionalDistanceEngine
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
-from repro.index.bounds import social_lower_bound, social_lower_bound_vertex
+from repro.index.bounds import social_lower_bound
 from repro.spatial.point import LocationTable
 from repro.utils.heaps import MinHeap
 from repro.utils.validation import check_user
@@ -120,13 +120,19 @@ class AggregateIndexSearch:
         index: AggregateIndex,
         normalization: Normalization,
         variant: AISVariant | None = None,
+        kernels=None,
     ) -> None:
+        if kernels is None:
+            from repro.backend import resolve_backend
+
+            kernels = resolve_backend("python")
         self.graph = graph
         self.locations = locations
         self.landmarks = landmarks
         self.index = index
         self.normalization = normalization
         self.variant = variant if variant is not None else AISVariant.full()
+        self.kernels = kernels
 
     def search(
         self,
@@ -165,6 +171,8 @@ class AggregateIndexSearch:
         heap = MinHeap()
         index = self.index
         locations = self.locations
+        kernels = self.kernels
+        xs, ys = locations.columns()
         use_summaries = variant.use_social_summaries
         seq = 0  # deterministic tie-break for equal keys
 
@@ -183,7 +191,6 @@ class AggregateIndexSearch:
             heap.push((key, seq, _TOP, top))
             seq += 1
 
-        lm_vector = self.landmarks.vector
         while heap:
             key, _, kind, payload = heap.pop()
             if key > buffer.fk:
@@ -204,14 +211,20 @@ class AggregateIndexSearch:
                     heap.push((child_key, seq, _LEAF, leaf))
                     seq += 1
             elif kind == _LEAF:
-                for user in index.users_in(payload):
+                # One batched evaluation per leaf: exact spatial
+                # distances, per-vertex ALT bounds, and blended keys
+                # over the cell's id-array in three kernel calls.
+                ids = index.user_ids(payload)
+                distances = kernels.euclidean_to_point(xs, ys, qx, qy, ids)
+                social_lbs = kernels.alt_lower_bounds(self.landmarks, query_vector, ids)
+                keys = kernels.blend(rank.w_social, rank.w_spatial, social_lbs, distances)
+                for pos in range(len(ids)):
+                    user = int(ids[pos])
                     if user == query_user:
                         continue
-                    d = locations.distance(query_user, user)
-                    lb_p = social_lower_bound_vertex(query_vector, lm_vector(user))
-                    user_key = rank.social_part(lb_p) + rank.spatial_part(d)
+                    user_key = float(keys[pos])
                     if user_key < INF:
-                        heap.push((user_key, seq, _USER, (user, d)))
+                        heap.push((user_key, seq, _USER, (user, float(distances[pos]))))
                         seq += 1
             else:
                 user, d = payload

@@ -4,14 +4,21 @@ Runs one full Dijkstra from the query vertex and scores every user.
 Quadratic-ish and indifferent to all of the paper's optimisations — the
 ground truth every algorithm is tested against, and the natural
 definition of correctness for SSRQ (Definition 1).
+
+Scoring is columnar: the Dijkstra distance dict is marshalled into a
+dense social column, the spatial column comes from one
+``euclidean_to_point`` kernel call over the whole location table, and
+one ``blend`` + ``top_k_by_score`` pass selects the answer — so the
+same code path runs scalar (``PythonKernels``) or vectorized
+(``NumpyKernels``) with bit-identical output.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import time
 
+from repro.backend import Kernels, resolve_backend
 from repro.core.ranking import Normalization, RankingFunction
 from repro.core.result import Neighbor, SSRQResult
 from repro.core.stats import SearchStats
@@ -21,6 +28,7 @@ from repro.spatial.point import LocationTable
 from repro.utils.validation import check_user
 
 INF = math.inf
+_NAN = math.nan
 
 
 class BruteForceSearch:
@@ -28,7 +36,7 @@ class BruteForceSearch:
 
         >>> from repro import BruteForceSearch, SocialGraph, LocationTable, Normalization
         >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
-        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> loc = LocationTable.from_columns([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
         >>> bf = BruteForceSearch(g, loc, Normalization(p_max=4.0, d_max=1.5))
         >>> bf.search(0, k=2, alpha=0.5).users
         [1, 3]
@@ -39,10 +47,12 @@ class BruteForceSearch:
         graph: SocialGraph,
         locations: LocationTable,
         normalization: Normalization,
+        kernels: Kernels | None = None,
     ) -> None:
         self.graph = graph
         self.locations = locations
         self.normalization = normalization
+        self.kernels = kernels if kernels is not None else resolve_backend("python")
 
     def search(
         self,
@@ -58,29 +68,35 @@ class BruteForceSearch:
         stats = SearchStats()
         start = time.perf_counter()
         rank = RankingFunction(alpha, self.normalization)
+        kernels = self.kernels
+        n = self.graph.n
 
         social: dict[int, float] = {}
         if rank.needs_social:
             it = DijkstraIterator(self.graph, query_user)
             social = it.run_to_completion()
             stats.pops_social = it.heap.pops
+        p = kernels.dense_from_dict(n, social, INF)
 
-        locations = self.locations
-        scored: list[tuple[float, int, float, float]] = []
-        for user in range(self.graph.n):
-            if user == query_user:
-                continue
-            p = social.get(user, INF) if rank.needs_social else INF
-            d = locations.distance(query_user, user) if rank.needs_spatial else INF
-            f = rank.score(p, d)
-            if f != INF:
-                scored.append((f, user, p, d))
-        top = heapq.nsmallest(k, scored)
-        neighbors = [Neighbor(user, f, p, d) for f, user, p, d in top]
+        # The spatial column: distances to the query point, or all-inf
+        # when the spatial term is irrelevant / the query is unlocated
+        # (a NaN query point makes the kernel emit inf everywhere —
+        # exactly the scalar `distance()` contract).
+        location = self.locations.get(query_user) if rank.needs_spatial else None
+        qx, qy = location if location is not None else (_NAN, _NAN)
+        xs, ys = self.locations.columns()
+        d = kernels.euclidean_to_point(xs, ys, qx, qy)
+
+        scores = kernels.blend(rank.w_social, rank.w_spatial, p, d)
+        scores[query_user] = INF  # never report the query user
+        top = kernels.top_k_by_score(scores, range(n), k)
+        neighbors = [
+            Neighbor(int(u), float(scores[u]), float(p[u]), float(d[u])) for u in top
+        ]
         if initial is not None:
-            for f, user, p, d in top:
-                initial.offer(user, f, p, d)
+            for nb in neighbors:
+                initial.offer(nb.user, nb.score, nb.social, nb.spatial)
             neighbors = initial.neighbors()
-        stats.evaluations = len(scored)
+        stats.evaluations = kernels.count_finite(scores)
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, neighbors, stats)

@@ -36,6 +36,7 @@ import threading
 import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from repro.backend import Kernels, resolve_backend
 from repro.core.ais import AggregateIndexSearch, AISVariant
 from repro.core.bruteforce import BruteForceSearch
 from repro.core.graphdist import CHOracle
@@ -189,6 +190,14 @@ class GeoSocialEngine:
         a sharding coordinator: :meth:`move_user` and
         :meth:`forget_location` raise, because membership routing must
         happen above the single shard.
+    backend:
+        Candidate-evaluation backend: ``"auto"`` (the default — NumPy
+        when importable, honouring the ``REPRO_BACKEND`` environment
+        variable), ``"numpy"``, ``"python"``, or a ready-made
+        :class:`~repro.backend.base.Kernels` instance.  Resolved once
+        at construction (see :func:`repro.backend.resolve_backend`) and
+        propagated through :meth:`with_graph` rebuilds; both backends
+        produce bit-identical rankings, tie-breaks included.
     """
 
     def __init__(
@@ -204,6 +213,7 @@ class GeoSocialEngine:
         default_t: int = 500,
         landmarks: LandmarkIndex | None = None,
         index_users: Iterable[int] | None = None,
+        backend: "str | Kernels" = "auto",
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -216,6 +226,10 @@ class GeoSocialEngine:
         self.default_t = default_t
         self.landmark_strategy = landmark_strategy
         self.seed = seed
+        #: resolved batched-evaluation kernels (shared by every searcher)
+        self.kernels: Kernels = resolve_backend(backend)
+        #: resolved backend name ("numpy"/"python"), stable across rebuilds
+        self.backend: str = self.kernels.name
         self.landmarks = (
             landmarks
             if landmarks is not None
@@ -330,22 +344,26 @@ class GeoSocialEngine:
             self.aggregate,
             self.normalization,
             variant,
+            kernels=self.kernels,
         )
 
     def _build_searcher(self, method: str):
         graph, locations, norm = self.graph, self.locations, self.normalization
+        kernels = self.kernels
         if method == "sfa":
             return SocialFirstSearch(graph, locations, norm)
         if method == "spa":
-            return SpatialFirstSearch(graph, locations, self.grid, norm)
+            return SpatialFirstSearch(graph, locations, self.grid, norm, kernels=kernels)
         if method == "tsa":
-            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=self.landmarks)
+            return TwofoldSearch(
+                graph, locations, self.grid, norm, landmarks=self.landmarks, kernels=kernels
+            )
         if method == "tsa-plain":
-            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=None)
+            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=None, kernels=kernels)
         if method == "tsa-qc":
             return TwofoldSearch(
                 graph, locations, self.grid, norm,
-                landmarks=self.landmarks, probe_policy="quick-combine",
+                landmarks=self.landmarks, probe_policy="quick-combine", kernels=kernels,
             )
         if method == "ais":
             return self._make_ais(AISVariant.full())
@@ -358,14 +376,16 @@ class GeoSocialEngine:
         if method == "sfa-ch":
             return SocialFirstSearch(graph, locations, norm, point_to_point=self._oracle())
         if method == "spa-ch":
-            return SpatialFirstSearch(graph, locations, self.grid, norm, point_to_point=self._oracle())
+            return SpatialFirstSearch(
+                graph, locations, self.grid, norm, point_to_point=self._oracle(), kernels=kernels
+            )
         if method == "tsa-ch":
             return TwofoldSearch(
                 graph, locations, self.grid, norm,
-                landmarks=self.landmarks, point_to_point=self._oracle(),
+                landmarks=self.landmarks, point_to_point=self._oracle(), kernels=kernels,
             )
         if method == "bruteforce":
-            return BruteForceSearch(graph, locations, norm)
+            return BruteForceSearch(graph, locations, norm, kernels=kernels)
         raise AssertionError(f"unhandled method {method!r}")
 
     def query(
@@ -569,6 +589,9 @@ class GeoSocialEngine:
             seed=self.seed,
             normalization=self.normalization,
             default_t=self.default_t,
+            # the resolved Kernels instance, not the name: a
+            # user-supplied custom backend survives the rebuild too
+            backend=self.kernels,
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)
@@ -581,5 +604,6 @@ class GeoSocialEngine:
     def __repr__(self) -> str:
         return (
             f"GeoSocialEngine(n={self.graph.n}, edges={self.graph.num_edges}, "
-            f"located={self.locations.n_located}, M={self.landmarks.m}, s={self.s})"
+            f"located={self.locations.n_located}, M={self.landmarks.m}, s={self.s}, "
+            f"backend={self.backend!r})"
         )

@@ -36,7 +36,7 @@ class SocialFirstSearch:
 
         >>> from repro import SocialFirstSearch, SocialGraph, LocationTable, Normalization
         >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
-        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> loc = LocationTable.from_columns([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
         >>> sfa = SocialFirstSearch(g, loc, Normalization(p_max=4.0, d_max=1.5))
         >>> sfa.search(0, k=2, alpha=0.5).users
         [1, 3]

@@ -40,7 +40,7 @@ class SpatialFirstSearch:
         >>> from repro import SpatialFirstSearch, SocialGraph, LocationTable, Normalization
         >>> from repro.spatial.grid import UniformGrid
         >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
-        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> loc = LocationTable.from_columns([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
         >>> spa = SpatialFirstSearch(g, loc, UniformGrid.build(loc, 2),
         ...                          Normalization(p_max=4.0, d_max=1.5))
         >>> spa.search(0, k=2, alpha=0.5).users
@@ -54,12 +54,14 @@ class SpatialFirstSearch:
         grid: UniformGrid,
         normalization: Normalization,
         point_to_point=None,
+        kernels=None,
     ) -> None:
         self.graph = graph
         self.locations = locations
         self.grid = grid
         self.normalization = normalization
         self.point_to_point = point_to_point
+        self.kernels = kernels
 
     def search(
         self,
@@ -91,7 +93,9 @@ class SpatialFirstSearch:
         qx, qy = location
 
         buffer = initial if initial is not None else TopKBuffer(k)
-        nn = IncrementalNearestNeighbors(self.grid, self.locations, qx, qy, exclude=query_user)
+        nn = IncrementalNearestNeighbors(
+            self.grid, self.locations, qx, qy, exclude=query_user, kernels=self.kernels
+        )
         oracle = self.point_to_point
         oracle_pops_before = oracle.pops if oracle is not None else 0
         social = None

@@ -56,7 +56,7 @@ class TwofoldSearch:
         >>> from repro import TwofoldSearch, SocialGraph, LocationTable, Normalization
         >>> from repro.spatial.grid import UniformGrid
         >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
-        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> loc = LocationTable.from_columns([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
         >>> tsa = TwofoldSearch(g, loc, UniformGrid.build(loc, 2),
         ...                     Normalization(p_max=4.0, d_max=1.5))
         >>> tsa.search(0, k=2, alpha=0.5).users
@@ -85,6 +85,7 @@ class TwofoldSearch:
         landmarks: LandmarkIndex | None = None,
         probe_policy: str = "round-robin",
         point_to_point=None,
+        kernels=None,
     ) -> None:
         if probe_policy not in ("round-robin", "quick-combine"):
             raise ValueError(f"unknown probe policy {probe_policy!r}")
@@ -95,6 +96,7 @@ class TwofoldSearch:
         self.landmarks = landmarks
         self.probe_policy = probe_policy
         self.point_to_point = point_to_point
+        self.kernels = kernels
 
     # -- query ----------------------------------------------------------------
 
@@ -129,7 +131,9 @@ class TwofoldSearch:
         social = DijkstraIterator(self.graph, query_user)
         oracle = self.point_to_point
         oracle_pops_before = oracle.pops if oracle is not None else 0
-        nn = IncrementalNearestNeighbors(self.grid, self.locations, qx, qy, exclude=query_user)
+        nn = IncrementalNearestNeighbors(
+            self.grid, self.locations, qx, qy, exclude=query_user, kernels=self.kernels
+        )
         if self.probe_policy == "quick-combine":
             policy = QuickCombinePolicy((alpha, 1.0 - alpha))
         else:

@@ -35,7 +35,7 @@ def uniform_locations(n: int, seed: int = 0) -> LocationTable:
     rng = make_rng(seed)
     xs = [rng.random() for _ in range(n)]
     ys = [rng.random() for _ in range(n)]
-    return LocationTable(xs, ys)
+    return LocationTable.from_columns(xs, ys)
 
 
 def clustered_locations(
@@ -78,7 +78,7 @@ def clustered_locations(
         cx, cy = pick_center()
         xs.append(min(1.0, max(0.0, rng.gauss(cx, spread))))
         ys.append(min(1.0, max(0.0, rng.gauss(cy, spread))))
-    return LocationTable(xs, ys)
+    return LocationTable.from_columns(xs, ys)
 
 
 def apply_coverage(locations: LocationTable, coverage: float, seed: int = 0) -> LocationTable:

@@ -23,6 +23,11 @@ from repro.graph.socialgraph import SocialGraph
 from repro.graph.traversal import dijkstra_distances
 from repro.utils.rng import make_rng
 
+try:  # soft dependency: the scalar fallback keeps working without it
+    import numpy as _np
+except ModuleNotFoundError:  # pragma: no cover - exercised only off-CI
+    _np = None
+
 INF = math.inf
 
 
@@ -98,20 +103,58 @@ class LandmarkIndex:
     and vertex ``v`` (``m_vj`` in the paper's notation).  For directed
     graphs two tables are kept (to/from each landmark); for undirected
     graphs they coincide.
+
+    Storage is columnar: under NumPy the rows of :attr:`dist` are views
+    into one contiguous ``(n_landmarks, n_users)`` float64 matrix
+    (:attr:`matrix`), so in-place row maintenance (see
+    :class:`~repro.graph.dynamics.DynamicLandmarkTables`) and the
+    vectorized ALT-bound kernels of :mod:`repro.backend` always observe
+    the same numbers.  Without NumPy the rows are plain lists and
+    :attr:`matrix` is ``None``.
     """
 
-    __slots__ = ("graph", "landmarks", "dist", "dist_rev")
+    __slots__ = ("graph", "landmarks", "dist", "dist_rev", "_matrix", "_matrix_rev")
 
     def __init__(self, graph: SocialGraph, landmarks: Sequence[int]) -> None:
         self.graph = graph
         self.landmarks = list(landmarks)
+        rows = [_distance_row(graph, l) for l in self.landmarks]
         #: distances landmark -> v (== v -> landmark for undirected)
-        self.dist: list[list[float]] = [_distance_row(graph, l) for l in self.landmarks]
+        self.dist: list = self._adopt_rows(rows, "_matrix", graph.n)
         if graph.directed:
             rev = graph.reverse()
-            self.dist_rev = [_distance_row(rev, l) for l in self.landmarks]
+            rev_rows = [_distance_row(rev, l) for l in self.landmarks]
+            self.dist_rev = self._adopt_rows(rev_rows, "_matrix_rev", graph.n)
         else:
             self.dist_rev = self.dist
+            self._matrix_rev = self._matrix
+
+    def _adopt_rows(self, rows: list[list[float]], attr: str, n: int) -> list:
+        """Store ``rows`` behind ``attr`` as a contiguous matrix (NumPy)
+        and return per-landmark row *views* of it, so scalar row access
+        and the matrix stay coherent under in-place mutation."""
+        if _np is None:
+            setattr(self, attr, None)
+            return rows
+        matrix = (
+            _np.array(rows, dtype=_np.float64) if rows else _np.empty((0, n))
+        )
+        setattr(self, attr, matrix)
+        return [matrix[j] for j in range(matrix.shape[0])]
+
+    @property
+    def matrix(self):
+        """The ``(n_landmarks, n_users)`` float64 distance matrix (the
+        columnar form of :attr:`dist`; ``None`` without NumPy).  Rows of
+        :attr:`dist` are views into it — mutations through either side
+        stay coherent."""
+        return self._matrix
+
+    @property
+    def matrix_rev(self):
+        """Reverse-orientation matrix (``is matrix`` for undirected
+        graphs; ``None`` without NumPy)."""
+        return self._matrix_rev
 
     @classmethod
     def build(
@@ -137,11 +180,14 @@ class LandmarkIndex:
         clone = object.__new__(LandmarkIndex)
         clone.graph = self.graph
         clone.landmarks = list(self.landmarks)
-        clone.dist = [list(row) for row in self.dist]
+        clone.dist = clone._adopt_rows([list(row) for row in self.dist], "_matrix", self.graph.n)
         if self.dist_rev is self.dist:
             clone.dist_rev = clone.dist
+            clone._matrix_rev = clone._matrix
         else:
-            clone.dist_rev = [list(row) for row in self.dist_rev]
+            clone.dist_rev = clone._adopt_rows(
+                [list(row) for row in self.dist_rev], "_matrix_rev", self.graph.n
+            )
         return clone
 
     def vector(self, v: int) -> tuple[float, ...]:
@@ -249,6 +295,9 @@ class LandmarkIndex:
     def max_finite_distance(self) -> float:
         """Largest finite table entry — a cheap lower bound on the graph
         diameter, used as a sanity fallback for ``P_max``."""
+        if self._matrix is not None and self._matrix.size:
+            finite = self._matrix[_np.isfinite(self._matrix)]
+            return float(finite.max()) if finite.size else 0.0
         best = 0.0
         for row in self.dist:
             for d in row:

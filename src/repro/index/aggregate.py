@@ -33,7 +33,7 @@ class AggregateIndex:
         >>> from repro import AggregateIndex, SocialGraph, LocationTable
         >>> from repro.graph.landmarks import LandmarkIndex
         >>> g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0)])
-        >>> loc = LocationTable([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
+        >>> loc = LocationTable.from_columns([0.0, 0.1, 0.9, 0.2], [0.0, 0.0, 0.9, 0.1])
         >>> index = AggregateIndex.build(loc, LandmarkIndex.build(g, 2, "degree", 0), s=2)
         >>> len(list(index.tops()))   # occupied top-level cells
         2
@@ -105,6 +105,12 @@ class AggregateIndex:
 
     def users_in(self, leaf: tuple[int, int]) -> list[int]:
         return self.grid.users_in_leaf(leaf)
+
+    def user_ids(self, leaf: tuple[int, int]):
+        """Leaf membership as a cached contiguous id-array — the
+        columnar form the batched AIS leaf expansion feeds to
+        :mod:`repro.backend` kernels."""
+        return self.grid.ids_in_leaf(leaf)
 
     def spatial_mindist(self, bbox: BBox, node: tuple[int, int], is_top: bool, x: float, y: float) -> float:
         """Lower bound on the distance from ``(x, y)`` to any user under

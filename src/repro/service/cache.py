@@ -281,7 +281,9 @@ class ResultCache:
                     # bound.  `<=` (not `<`) covers the smaller-id
                     # tie-break at equal scores.
                     w_spatial = (1.0 - alpha) / max(d_max, _TINY)
-                    lower = w_spatial * math.hypot(q[0] - x, q[1] - y)
+                    dx = q[0] - x
+                    dy = q[1] - y
+                    lower = w_spatial * math.sqrt(dx * dx + dy * dy)
                     if lower <= result.fk:
                         evict.add(key)
             return self._discard_keys(evict)

@@ -96,6 +96,27 @@ class ShardBounds:
         for x, y, vector in members:
             self.add_member(x, y, vector)
 
+    def refresh_columnar(self, kernels, landmarks, locations, ids) -> None:
+        """Columnar :meth:`refresh`: recompute the envelope for members
+        ``ids`` in two bulk kernel reductions over the coordinate
+        columns and the landmark matrix — no per-user scan, no
+        per-user landmark-vector tuples."""
+        if not hasattr(ids, "__getitem__"):  # sets/generators -> indexable
+            ids = list(ids)
+        xs, ys = locations.columns()
+        m = len(self.summary.m_check)
+        self.count = len(ids)
+        envelope = kernels.nanbbox(xs, ys, ids) if self.count else None
+        if envelope is None:
+            self.minx = self.miny = INF
+            self.maxx = self.maxy = -INF
+        else:
+            self.minx, self.miny, self.maxx, self.maxy = envelope
+        summary = SocialSummary(m)
+        if self.count:
+            summary.m_check, summary.m_hat = kernels.summary_minmax(landmarks, ids)
+        self.summary = summary
+
     # -- bounds --------------------------------------------------------
 
     def spatial_lower_bound(self, qx: float, qy: float) -> float:
@@ -107,7 +128,9 @@ class ShardBounds:
         dy = max(self.miny - qy, 0.0, qy - self.maxy)
         if dx == 0.0 and dy == 0.0:
             return 0.0
-        return math.hypot(dx, dy)
+        # sqrt(dx²+dy²), the repo-wide Euclidean primitive (never hypot,
+        # which can land 1 ulp above it and over-prune a boundary tie).
+        return math.sqrt(dx * dx + dy * dy)
 
     def social_bound(self, query_vector: Sequence[float]) -> float:
         """``p̌(v_q, S)``: Lemma 2 over the member summary."""

@@ -55,6 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from repro.backend import Kernels, resolve_backend
 from repro.core.engine import (
     METHODS,
     GeoSocialEngine,
@@ -169,6 +170,13 @@ class ShardedGeoSocialEngine:
     landmarks:
         Optional pre-built landmark index to share (rebuilt from the
         graph when omitted).
+    backend:
+        Candidate-evaluation backend (see
+        :func:`repro.backend.resolve_backend`), resolved **once** here
+        and propagated to every shard engine — a sharded deployment
+        never mixes backends, and :meth:`with_graph` rebuilds (hence
+        :meth:`~repro.service.QueryService.rebuild_engine`) preserve
+        the resolved choice.
     """
 
     def __init__(
@@ -188,6 +196,7 @@ class ShardedGeoSocialEngine:
         normalization: Normalization | None = None,
         default_t: int = 500,
         landmarks: LandmarkIndex | None = None,
+        backend: "str | Kernels" = "auto",
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -206,6 +215,9 @@ class ShardedGeoSocialEngine:
         self.default_t = default_t
         self.landmark_strategy = landmark_strategy
         self.partitioner_kind = partitioner_kind
+        #: kernels + resolved backend name, shared by every shard engine
+        self.kernels = resolve_backend(backend)
+        self.backend = self.kernels.name
         self.landmarks = (
             landmarks
             if landmarks is not None
@@ -286,6 +298,7 @@ class ShardedGeoSocialEngine:
             default_t=self.default_t,
             landmarks=self.landmarks,
             index_users=users,
+            backend=self.kernels,
         )
         # The t-nearest social lists depend only on the shared graph:
         # point every shard at one store so ais-cache scatter does not
@@ -296,10 +309,9 @@ class ShardedGeoSocialEngine:
         engine._caches = self._neighbor_caches
         engine._build_lock = self._build_lock
         bounds = ShardBounds(self.landmarks.m)
-        xs, ys = self.locations.xs, self.locations.ys
-        vector = self.landmarks.vector
-        for user in users:
-            bounds.add_member(xs[user], ys[user], vector(user))
+        # list(), not sorted(): the bbox/min-max reductions are
+        # order-independent, so sorting would be pure overhead here
+        bounds.refresh_columnar(self.kernels, self.landmarks, self.locations, list(users))
         self._engines[sid] = engine
         self._bounds[sid] = bounds
         return engine
@@ -532,14 +544,16 @@ class ShardedGeoSocialEngine:
 
     def refresh_bounds(self) -> None:
         """Recompute every shard's pruning envelope exactly (tightens
-        widen-only bounds after sustained churn; exclusively)."""
-        xs, ys = self.locations.xs, self.locations.ys
-        vector = self.landmarks.vector
+        widen-only bounds after sustained churn; exclusively).
+
+        Bulk math: one bbox reduction over the coordinate columns and
+        one min/max reduction over the landmark matrix per shard — no
+        per-user re-scan (a regression test pins this)."""
         with self.rw_lock.write_locked():
             for sid, engine in self._engines.items():
-                members = engine.index_users or set()
-                self._bounds[sid].refresh(
-                    (xs[u], ys[u], vector(u)) for u in members
+                members = list(engine.index_users or ())
+                self._bounds[sid].refresh_columnar(
+                    self.kernels, self.landmarks, self.locations, members
                 )
 
     # -- rebuild -------------------------------------------------------
@@ -561,6 +575,8 @@ class ShardedGeoSocialEngine:
             seed=self.seed,
             normalization=self.normalization,
             default_t=self.default_t,
+            # resolved Kernels instance (see GeoSocialEngine.with_graph)
+            backend=self.kernels,
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)
@@ -587,5 +603,5 @@ class ShardedGeoSocialEngine:
         return (
             f"ShardedGeoSocialEngine(n={self.graph.n}, shards={self.n_shards}, "
             f"materialised={len(self._engines)}, members={sum(sizes.values())}, "
-            f"workers={self.max_workers})"
+            f"workers={self.max_workers}, backend={self.backend!r})"
         )

@@ -18,11 +18,25 @@ from typing import Iterable, Iterator
 
 from repro.spatial.point import BBox, LocationTable
 
+try:  # soft dependency: the scalar fallback keeps working without it
+    import numpy as _np
+except ModuleNotFoundError:  # pragma: no cover - exercised only off-CI
+    _np = None
+
+
+_EMPTY_IDS = _np.empty(0, dtype=_np.intp) if _np is not None else None
+
 
 class UniformGrid:
-    """Uniform grid mapping cell coordinates to lists of user ids."""
+    """Uniform grid mapping cell coordinates to lists of user ids.
 
-    __slots__ = ("bbox", "nx", "ny", "cell_w", "cell_h", "cells", "_cell_of_user")
+    Cell membership is kept in Python lists (O(1) append on insert);
+    :meth:`ids_in` serves the same membership as a cached contiguous
+    id-array — the columnar form the vectorized kernels of
+    :mod:`repro.backend` consume — invalidated per cell on mutation.
+    """
+
+    __slots__ = ("bbox", "nx", "ny", "cell_w", "cell_h", "cells", "_cell_of_user", "_ids_cache")
 
     def __init__(self, bbox: BBox, resolution: int) -> None:
         if resolution < 1:
@@ -36,6 +50,8 @@ class UniformGrid:
         #: sparse storage: (ix, iy) -> list of user ids
         self.cells: dict[tuple[int, int], list[int]] = {}
         self._cell_of_user: dict[int, tuple[int, int]] = {}
+        #: per-cell id-array cache (see ids_in)
+        self._ids_cache: dict[tuple[int, int], object] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -106,6 +122,7 @@ class UniformGrid:
         coords = self.cell_of(x, y)
         self.cells.setdefault(coords, []).append(user)
         self._cell_of_user[user] = coords
+        self._ids_cache.pop(coords, None)
         return coords
 
     def remove(self, user: int) -> tuple[int, int]:
@@ -115,6 +132,7 @@ class UniformGrid:
         members.remove(user)
         if not members:
             del self.cells[coords]
+        self._ids_cache.pop(coords, None)
         return coords
 
     def move(self, user: int, x: float, y: float) -> tuple[tuple[int, int], tuple[int, int]]:
@@ -129,6 +147,7 @@ class UniformGrid:
             self.remove(user)
             self.cells.setdefault(new, []).append(user)
             self._cell_of_user[user] = new
+            self._ids_cache.pop(new, None)
         return old, new
 
     def cell_of_user(self, user: int) -> tuple[int, int] | None:
@@ -136,6 +155,23 @@ class UniformGrid:
 
     def users_in(self, ix: int, iy: int) -> list[int]:
         return self.cells.get((ix, iy), [])
+
+    def ids_in(self, ix: int, iy: int):
+        """Cell membership as a contiguous ``intp`` id-array (cached;
+        rebuilt lazily after a mutation touches the cell).  Falls back
+        to the plain member list when NumPy is unavailable — both forms
+        are valid kernel input."""
+        coords = (ix, iy)
+        members = self.cells.get(coords)
+        if members is None:
+            return _EMPTY_IDS if _np is not None else []
+        if _np is None:
+            return members
+        ids = self._ids_cache.get(coords)
+        if ids is None:
+            ids = _np.array(members, dtype=_np.intp)
+            self._ids_cache[coords] = ids
+        return ids
 
     def nonempty_cells(self) -> Iterator[tuple[int, int]]:
         return iter(self.cells)

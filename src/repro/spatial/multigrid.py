@@ -103,6 +103,11 @@ class MultiLevelGrid:
     def users_in_leaf(self, leaf: tuple[int, int]) -> list[int]:
         return self.leaf_grid.users_in(leaf[0], leaf[1])
 
+    def ids_in_leaf(self, leaf: tuple[int, int]):
+        """Leaf membership as a cached contiguous id-array (see
+        :meth:`UniformGrid.ids_in`)."""
+        return self.leaf_grid.ids_in(leaf[0], leaf[1])
+
     def leaf_of_user(self, user: int) -> tuple[int, int] | None:
         return self.leaf_grid.cell_of_user(user)
 

@@ -41,9 +41,14 @@ class IncrementalNearestNeighbors:
     heap:
         Optional externally-owned heap, letting callers aggregate pop
         statistics across search structures.
+    kernels:
+        Optional :class:`~repro.backend.base.Kernels` evaluating a
+        popped cell's user distances in one batched call (scalar
+        fallback when omitted); both backends produce bit-identical
+        distances.
     """
 
-    __slots__ = ("grid", "locations", "x", "y", "exclude", "heap", "_ring", "_max_ring", "_exhausted", "count")
+    __slots__ = ("grid", "locations", "x", "y", "exclude", "heap", "_ring", "_max_ring", "_exhausted", "count", "_kernels", "_xs", "_ys")
 
     def __init__(
         self,
@@ -53,13 +58,20 @@ class IncrementalNearestNeighbors:
         y: float,
         exclude: int | None = None,
         heap: MinHeap | None = None,
+        kernels=None,
     ) -> None:
+        if kernels is None:
+            from repro.backend import resolve_backend
+
+            kernels = resolve_backend("python")
         self.grid = grid
         self.locations = locations
         self.x = x
         self.y = y
         self.exclude = exclude
         self.heap = heap if heap is not None else MinHeap()
+        self._kernels = kernels
+        self._xs, self._ys = locations.columns()
         self._ring = 0
         center = grid.cell_of(x, y)
         self._max_ring = grid.max_ring_radius(center)
@@ -96,11 +108,17 @@ class IncrementalNearestNeighbors:
             key, kind, payload = self.heap.pop()
             if kind == _CELL:
                 ix, iy = payload
-                for user in self.grid.users_in(ix, iy):
-                    if user == self.exclude:
+                ids = self.grid.ids_in(ix, iy)
+                distances = self._kernels.euclidean_to_point(
+                    self._xs, self._ys, self.x, self.y, ids
+                )
+                push = self.heap.push
+                exclude = self.exclude
+                for pos in range(len(ids)):
+                    user = int(ids[pos])
+                    if user == exclude:
                         continue
-                    d = self.locations.distance_to(user, self.x, self.y)
-                    self.heap.push((d, _USER, user))
+                    push((float(distances[pos]), _USER, user))
             else:
                 self.count += 1
                 return payload, key

@@ -1,24 +1,49 @@
-"""Euclidean geometry primitives and the user location table.
+"""Euclidean geometry primitives and the columnar user location table.
 
 Locations live in a flat 2-D Euclidean space.  Following the paper
 (Section 6, footnote 3), some users have *no known location* and are
 treated as infinitely far away from everybody; :class:`LocationTable`
 encodes a missing location as ``NaN`` coordinates and reports ``inf``
 distances for it.
+
+Coordinates are stored *columnar*: two contiguous ``float64`` arrays
+indexed by user id (plain Python lists when NumPy is unavailable), so
+the vectorized kernels of :mod:`repro.backend` can evaluate whole
+candidate arrays in one call.
+
+**One distance primitive.**  Every Euclidean distance in this codebase
+is ``sqrt(dx² + dy²)`` — deliberately *not* ``math.hypot``.  The two
+can differ by 1 ulp, and ``numpy.hypot`` differs from ``math.hypot`` on
+some platforms; ``sqrt``, ``*`` and ``+`` are IEEE-exact operations, so
+the scalar and the vectorized backend produce bit-identical distances
+(and therefore bit-identical rankings and tie-breaks).  All operands
+here are unit-square scale, far from the overflow range ``hypot``
+exists to protect.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
+
+try:  # soft dependency: the scalar fallback keeps working without it
+    import numpy as _np
+except ModuleNotFoundError:  # pragma: no cover - exercised only off-CI
+    _np = None
 
 INF = math.inf
+_sqrt = math.sqrt
 
 
 def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
-    """Euclidean distance between points ``(ax, ay)`` and ``(bx, by)``."""
-    return math.hypot(ax - bx, ay - by)
+    """Euclidean distance between points ``(ax, ay)`` and ``(bx, by)``
+    (``sqrt(dx² + dy²)``; see the module docstring for why not
+    ``hypot``)."""
+    dx = ax - bx
+    dy = ay - by
+    return _sqrt(dx * dx + dy * dy)
 
 
 @dataclass(frozen=True)
@@ -55,7 +80,9 @@ class BBox:
         """Length of the box diagonal — the maximum pairwise distance of
         any two points inside the box (used as the spatial normaliser
         ``D_max``)."""
-        return math.hypot(self.width, self.height)
+        w = self.width
+        h = self.height
+        return _sqrt(w * w + h * h)
 
     def contains(self, x: float, y: float) -> bool:
         return self.minx <= x <= self.maxx and self.miny <= y <= self.maxy
@@ -68,14 +95,14 @@ class BBox:
         dy = max(self.miny - y, 0.0, y - self.maxy)
         if dx == 0.0 and dy == 0.0:
             return 0.0
-        return math.hypot(dx, dy)
+        return _sqrt(dx * dx + dy * dy)
 
     def maxdist(self, x: float, y: float) -> float:
         """Maximum Euclidean distance from ``(x, y)`` to any point of the
         box (distance to the farthest corner)."""
         dx = max(x - self.minx, self.maxx - x)
         dy = max(y - self.miny, self.maxy - y)
-        return math.hypot(dx, dy)
+        return _sqrt(dx * dx + dy * dy)
 
     @staticmethod
     def of_points(points: Iterable[tuple[float, float]]) -> "BBox":
@@ -100,12 +127,16 @@ class BBox:
 
 
 class LocationTable:
-    """Current (last reported) locations for ``n`` users.
+    """Current (last reported) locations for ``n`` users, stored as two
+    columnar coordinate arrays.
 
-    Coordinates are stored in two flat lists indexed by user id; a
-    missing location is a ``NaN`` pair.  The table is mutable —
-    :meth:`set` supports the dynamic-location setting of the paper —
-    and cheap to snapshot.
+    Coordinates live in two flat ``float64`` columns indexed by user id
+    (:attr:`xs`, :attr:`ys`); a missing location is a ``NaN`` pair.  The
+    table is mutable — :meth:`set` supports the dynamic-location setting
+    of the paper — and cheap to snapshot.  Construct it from coordinate
+    columns (lists, tuples, or NumPy arrays, uniformly) with
+    :meth:`from_columns`; the legacy positional constructor still works
+    but emits a :class:`DeprecationWarning`.
 
         >>> from repro import LocationTable
         >>> table = LocationTable.empty(3)
@@ -118,19 +149,45 @@ class LocationTable:
 
     __slots__ = ("xs", "ys", "_n_located")
 
-    def __init__(self, xs: list[float], ys: list[float]) -> None:
+    def __init__(self, xs, ys, *, _trusted: bool = False) -> None:
+        if not _trusted:
+            warnings.warn(
+                "constructing LocationTable(xs, ys) directly is deprecated; "
+                "use LocationTable.from_columns(xs, ys), which accepts "
+                "lists, tuples, and numpy arrays uniformly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if len(xs) != len(ys):
             raise ValueError("xs and ys must have equal length")
-        self.xs = list(xs)
-        self.ys = list(ys)
-        self._n_located = sum(1 for x in self.xs if x == x)  # NaN != NaN
+        if _np is not None:
+            #: columnar storage: contiguous float64, NaN = missing
+            self.xs = _np.array(xs, dtype=_np.float64)
+            self.ys = _np.array(ys, dtype=_np.float64)
+            self._n_located = int(_np.count_nonzero(~_np.isnan(self.xs)))
+        else:
+            self.xs = list(xs)
+            self.ys = list(ys)
+            self._n_located = sum(1 for x in self.xs if x == x)  # NaN != NaN
 
     # -- construction -------------------------------------------------
 
     @classmethod
+    def from_columns(cls, xs: Sequence[float], ys: Sequence[float]) -> "LocationTable":
+        """Build a table from two coordinate columns (any sequence or
+        array type; the data is copied into contiguous storage).
+
+            >>> from repro import LocationTable
+            >>> table = LocationTable.from_columns([0.0, 0.5], [0.0, 0.5])
+            >>> table.n_located
+            2
+        """
+        return cls(xs, ys, _trusted=True)
+
+    @classmethod
     def empty(cls, n: int) -> "LocationTable":
         nan = math.nan
-        return cls([nan] * n, [nan] * n)
+        return cls([nan] * n, [nan] * n, _trusted=True)
 
     @classmethod
     def from_dict(cls, n: int, locations: dict[int, tuple[float, float]]) -> "LocationTable":
@@ -152,7 +209,8 @@ class LocationTable:
     @property
     def coverage(self) -> float:
         """Fraction of users with a known location."""
-        return self._n_located / len(self.xs) if self.xs else 0.0
+        n = len(self.xs)
+        return self._n_located / n if n else 0.0
 
     def has_location(self, user: int) -> bool:
         x = self.xs[user]
@@ -162,13 +220,20 @@ class LocationTable:
         x = self.xs[user]
         if x != x:
             return None
-        return (x, self.ys[user])
+        return (float(x), float(self.ys[user]))
 
     def located_users(self) -> Iterator[int]:
         """Ids of users with a known location, in id order."""
-        for user, x in enumerate(self.xs):
-            if x == x:
-                yield user
+        if _np is not None:
+            return iter(_np.nonzero(~_np.isnan(self.xs))[0].tolist())
+        return iter([user for user, x in enumerate(self.xs) if x == x])
+
+    def columns(self) -> tuple[Sequence[float], Sequence[float]]:
+        """The raw coordinate columns ``(xs, ys)`` — contiguous
+        ``float64`` arrays under NumPy, plain lists otherwise.  This is
+        the zero-copy feed for :mod:`repro.backend` kernels; treat it as
+        read-only and mutate through :meth:`set`/:meth:`clear`."""
+        return self.xs, self.ys
 
     # -- geometry ------------------------------------------------------
 
@@ -179,19 +244,44 @@ class LocationTable:
         vx = self.xs[v]
         if ux != ux or vx != vx:
             return INF
-        return math.hypot(ux - vx, self.ys[u] - self.ys[v])
+        dx = ux - vx
+        dy = self.ys[u] - self.ys[v]
+        return _sqrt(dx * dx + dy * dy)
 
     def distance_to(self, u: int, x: float, y: float) -> float:
         """Distance from user ``u`` to an explicit point."""
         ux = self.xs[u]
         if ux != ux:
             return INF
-        return math.hypot(ux - x, self.ys[u] - y)
+        dx = ux - x
+        dy = self.ys[u] - y
+        return _sqrt(dx * dx + dy * dy)
 
     def bbox(self, users: Iterable[int] | None = None) -> BBox:
         """Bounding box of all known locations (or, with ``users``, of
         the located users in that subset — the extent a spatially
-        partitioned index covers)."""
+        partitioned index covers).
+
+        One vectorized ``nanmin``/``nanmax`` pass over the coordinate
+        columns — no per-user scan.
+        """
+        if _np is not None:
+            if users is None:
+                xs, ys = self.xs, self.ys
+            else:
+                ids = _np.fromiter(users, dtype=_np.intp)
+                xs = self.xs[ids]
+                ys = self.ys[ids]
+            if xs.size == 0 or _np.isnan(xs).all():
+                raise ValueError("cannot compute bbox of an empty collection")
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                return BBox(
+                    float(_np.nanmin(xs)),
+                    float(_np.nanmin(ys)),
+                    float(_np.nanmax(xs)),
+                    float(_np.nanmax(ys)),
+                )
         candidates = self.located_users() if users is None else (
             u for u in users if self.has_location(u)
         )
@@ -217,4 +307,4 @@ class LocationTable:
         self.ys[user] = math.nan
 
     def copy(self) -> "LocationTable":
-        return LocationTable(self.xs, self.ys)
+        return LocationTable.from_columns(self.xs, self.ys)

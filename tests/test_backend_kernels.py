@@ -1,0 +1,238 @@
+"""Unit contracts of the data-plane kernels, parametrized over both
+backends, plus the columnar regression pins of the refactor:
+
+- ``LocationTable.bbox`` runs as one vectorized nanmin/nanmax pass;
+- shard-bound refreshes are bulk reductions — repeated refreshes never
+  re-scan per-user (no ``LandmarkIndex.vector`` calls);
+- the legacy ``LocationTable(xs, ys)`` constructor warns and points to
+  ``from_columns``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.backend import HAS_NUMPY, PythonKernels, available_backends, resolve_backend
+from repro.graph.landmarks import LandmarkIndex
+from repro.graph.socialgraph import SocialGraph
+from repro.index.bounds import social_lower_bound_vertex
+from repro.spatial.point import LocationTable
+
+INF = math.inf
+NAN = math.nan
+
+BACKENDS = ["python"] + (["numpy"] if HAS_NUMPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def kernels(request):
+    return resolve_backend(request.param)
+
+
+@pytest.fixture(scope="module")
+def landmark_fixture():
+    g = SocialGraph.from_edges(
+        6, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (0, 3, 5.0)]
+    )  # vertices 4, 5 disconnected
+    return LandmarkIndex(g, [0, 2])
+
+
+class TestEuclideanKernel:
+    def test_matches_scalar_distance(self, kernels):
+        table = LocationTable.from_columns([0.0, 0.3, NAN, 0.9], [0.0, 0.4, NAN, 0.1])
+        xs, ys = table.columns()
+        out = kernels.euclidean_to_point(xs, ys, 0.0, 0.0, [0, 1, 2, 3])
+        assert float(out[0]) == 0.0
+        assert float(out[1]) == 0.5
+        assert float(out[2]) == INF
+        assert float(out[3]) == table.distance_to(3, 0.0, 0.0)
+
+    def test_all_users_when_ids_omitted(self, kernels):
+        table = LocationTable.from_columns([0.0, 3.0], [0.0, 4.0])
+        xs, ys = table.columns()
+        out = kernels.euclidean_to_point(xs, ys, 0.0, 0.0)
+        assert [float(v) for v in out] == [0.0, 5.0]
+
+    def test_nan_query_point_is_infinitely_far(self, kernels):
+        table = LocationTable.from_columns([0.1, 0.2], [0.1, 0.2])
+        xs, ys = table.columns()
+        out = kernels.euclidean_to_point(xs, ys, NAN, NAN, [0, 1])
+        assert [float(v) for v in out] == [INF, INF]
+
+    def test_half_located_coordinate_yields_inf(self, kernels):
+        # LocationTable never stores (finite, NaN) pairs, but the kernel
+        # contract is per-coordinate: any NaN on either axis means
+        # "infinitely far", identically on both backends.
+        xs = [0.3, NAN, 0.5]
+        ys = [NAN, 0.2, 0.5]
+        out = kernels.euclidean_to_point(xs, ys, 0.5, 0.5, [0, 1, 2])
+        assert [float(v) for v in out] == [INF, INF, 0.0]
+        out = kernels.euclidean_to_point(xs, ys, 0.5, 0.5)
+        assert [float(v) for v in out] == [INF, INF, 0.0]
+
+
+class TestAltBoundKernel:
+    def test_matches_vertex_lower_bound(self, kernels, landmark_fixture):
+        lm = landmark_fixture
+        query_vector = lm.vector(0)
+        ids = [1, 2, 3, 4]
+        out = kernels.alt_lower_bounds(lm, query_vector, ids)
+        for pos, u in enumerate(ids):
+            expected = social_lower_bound_vertex(query_vector, lm.vector(u))
+            assert float(out[pos]) == expected
+
+    def test_disconnected_sides(self, kernels, landmark_fixture):
+        lm = landmark_fixture
+        # query = disconnected vertex 4: inf vs finite -> inf bound;
+        # vs the equally disconnected vertex 5 -> uninformative -> 0.
+        query_vector = lm.vector(4)
+        out = kernels.alt_lower_bounds(lm, query_vector, [0, 5])
+        assert float(out[0]) == INF
+        assert float(out[1]) == 0.0
+
+
+class TestBlendKernel:
+    def test_zero_weight_ignores_infinite_distance(self, kernels):
+        assert [float(v) for v in kernels.blend(0.5, 0.0, [2.0, INF], [INF, INF])] == [1.0, INF]
+        assert [float(v) for v in kernels.blend(0.0, 0.5, [INF, INF], [2.0, 4.0])] == [1.0, 2.0]
+        assert [float(v) for v in kernels.blend(0.0, 0.0, [INF], [INF])] == [0.0]
+
+    def test_blended(self, kernels):
+        out = kernels.blend(0.5, 0.25, [2.0, 4.0], [4.0, 8.0])
+        assert [float(v) for v in out] == [2.0, 4.0]
+
+
+class TestTopKKernel:
+    def test_ties_break_toward_smaller_id(self, kernels):
+        scores = [0.5, 0.2, 0.5, INF, 0.2]
+        ids = [10, 11, 3, 0, 4]
+        picked = kernels.top_k_by_score(scores, ids, 3)
+        # (0.2, 4), (0.2, 11), (0.5, 3): positions 4, 1, 2
+        assert [int(i) for i in picked] == [4, 1, 2]
+
+    def test_infinite_scores_never_qualify(self, kernels):
+        assert kernels.top_k_by_score([INF, INF], [0, 1], 2) == []
+
+    def test_nonpositive_k_selects_nothing(self, kernels):
+        assert kernels.top_k_by_score([0.1, 0.2], [0, 1], 0) == []
+        assert kernels.top_k_by_score([0.1, 0.2], [0, 1], -1) == []
+
+    def test_partitioned_selection_keeps_boundary_ties_exact(self, kernels):
+        # Many entries tie exactly at the k-th score: the argpartition
+        # fast path must widen to every tie before ordering by id.
+        scores = [0.9] * 50 + [0.1] * 3 + [0.5] * 40
+        ids = list(range(200, 250)) + [7, 3, 5] + list(range(100, 140))
+        picked = kernels.top_k_by_score(scores, ids, 8)
+        picked_ids = [ids[i] for i in picked]
+        assert picked_ids == [3, 5, 7, 100, 101, 102, 103, 104]
+
+
+class TestEnvelopeKernels:
+    def test_nanbbox(self, kernels):
+        table = LocationTable.from_columns([0.2, NAN, 0.8, 0.5], [0.9, NAN, 0.1, 0.4])
+        xs, ys = table.columns()
+        assert kernels.nanbbox(xs, ys, [0, 1, 2, 3]) == (0.2, 0.1, 0.8, 0.9)
+        assert kernels.nanbbox(xs, ys, [1]) is None
+
+    def test_nanbbox_half_located_rows_are_skipped(self, kernels):
+        # Per-coordinate contract, matching euclidean_to_point: NaN on
+        # either axis excludes the point from the envelope.
+        assert kernels.nanbbox([0.5, 1.0], [NAN, 2.0], [0, 1]) == (1.0, 2.0, 1.0, 2.0)
+        assert kernels.nanbbox([NAN, 0.5], [1.0, NAN]) is None
+
+    def test_summary_minmax(self, kernels, landmark_fixture):
+        lm = landmark_fixture
+        m_check, m_hat = kernels.summary_minmax(lm, [1, 2, 3])
+        vectors = [lm.vector(u) for u in (1, 2, 3)]
+        for j in range(lm.m):
+            assert m_check[j] == min(v[j] for v in vectors)
+            assert m_hat[j] == max(v[j] for v in vectors)
+
+    def test_dense_from_dict_and_count_finite(self, kernels):
+        column = kernels.dense_from_dict(4, {1: 2.0, 3: 0.5}, INF)
+        assert [float(v) for v in column] == [INF, 2.0, INF, 0.5]
+        assert kernels.count_finite(column) == 2
+
+
+class TestResolveBackend:
+    def test_available_backends_lists_python(self):
+        assert "python" in available_backends()
+
+    def test_default_prefers_numpy_when_present(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        expected = "numpy" if HAS_NUMPY else "python"
+        assert resolve_backend("auto").name == expected
+
+    def test_rejects_unknown_names_and_types(self):
+        with pytest.raises(ValueError):
+            resolve_backend("fortran")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_passthrough_instance(self):
+        kernels = PythonKernels()
+        assert resolve_backend(kernels) is kernels
+
+
+class TestColumnarRegressions:
+    def test_bbox_uses_columns_not_per_user_calls(self):
+        pytest.importorskip("numpy")
+        table = LocationTable.from_columns([0.1, 0.9, NAN], [0.2, 0.8, NAN])
+        calls = {"n": 0}
+        original = LocationTable.has_location
+
+        def counting(self, user):
+            calls["n"] += 1
+            return original(self, user)
+
+        try:
+            LocationTable.has_location = counting
+            box = table.bbox()
+            subset = table.bbox([0, 1])
+        finally:
+            LocationTable.has_location = original
+        assert (box.minx, box.miny, box.maxx, box.maxy) == (0.1, 0.2, 0.9, 0.8)
+        assert (subset.minx, subset.maxx) == (0.1, 0.9)
+        assert calls["n"] == 0  # one vectorized nanmin/nanmax pass
+
+    def test_repeated_shard_bound_refreshes_do_not_rescan_per_user(self, monkeypatch):
+        from repro.shard import ShardedGeoSocialEngine
+        from tests.conftest import random_instance
+
+        graph, locations = random_instance(60, seed=11, coverage=0.8)
+        engine = ShardedGeoSocialEngine(
+            graph, locations, n_shards=4, num_landmarks=3, s=3, max_workers=1
+        )
+        before = {sid: (b.minx, b.miny, b.maxx, b.maxy, b.summary.as_tuple())
+                  for sid, b in engine._bounds.items()}
+
+        def forbidden(self, v):
+            raise AssertionError("refresh_bounds must not re-scan per-user vectors")
+
+        monkeypatch.setattr(LandmarkIndex, "vector", forbidden)
+        for _ in range(3):
+            engine.refresh_bounds()  # bulk bbox + matrix min/max only
+        after = {sid: (b.minx, b.miny, b.maxx, b.maxy, b.summary.as_tuple())
+                 for sid, b in engine._bounds.items()}
+        assert after == before  # exact recomputation, not a widen drift
+
+
+class TestFromColumnsDeprecation:
+    def test_legacy_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="from_columns"):
+            table = LocationTable([0.0, 1.0], [0.0, 1.0])
+        assert table.n_located == 2
+
+    def test_from_columns_is_quiet_and_uniform(self, recwarn):
+        a = LocationTable.from_columns([0.0, 1.0], (0.0, 1.0))
+        b = LocationTable.from_columns(a.xs, a.ys)  # arrays round-trip
+        assert [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)] == []
+        assert b.get(1) == (1.0, 1.0)
+        if HAS_NUMPY:
+            import numpy as np
+
+            b.set(0, 9.0, 9.0)  # copies, never aliases the source column
+            assert float(a.xs[0]) == 0.0
+            assert isinstance(a.xs, np.ndarray) and a.xs.dtype == np.float64

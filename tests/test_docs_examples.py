@@ -33,6 +33,9 @@ DOC_FILES = [
 #: service/bench API, i.e. everywhere docstring examples live
 DOCUMENTED_MODULES = [
     "repro",
+    "repro.backend",
+    "repro.backend.base",
+    "repro.backend.numpy_backend",
     "repro.core.engine",
     "repro.core.sfa",
     "repro.core.spa",

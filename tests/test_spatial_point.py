@@ -147,7 +147,7 @@ class TestLocationTable:
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
-            LocationTable([0.0], [0.0, 1.0])
+            LocationTable.from_columns([0.0], [0.0, 1.0])
 
     def test_distance_to_point(self):
         table = LocationTable.empty(2)
