@@ -1,0 +1,53 @@
+"""Stream maintenance vs recompute-per-update: the amortized cost of
+keeping standing top-k queries current.
+
+A fleet of standing queries rides a mostly-stable Zipf update stream
+(see :mod:`repro.bench.stream_workload`): most moves are far from
+every subscription and discharge as O(1) NO-OPs, a few repair a single
+candidate, and only a handful force a full recompute.  The baseline —
+what a server without incremental maintenance must do — re-runs every
+standing query after every update.
+
+Run standalone (prints the table and asserts the acceptance gate: the
+maintained strategy must be ≥ 5x cheaper per update, with results
+verified equal to the baseline's)::
+
+    PYTHONPATH=src python benchmarks/bench_stream_maintenance.py
+
+Set ``REPRO_STREAM_GATE=report`` to print without asserting (the
+report-only mode CI uses on noisy shared runners, same policy as
+``REPRO_KERNELS_GATE`` / ``REPRO_SHARDED_GATE``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.config import get_profile
+from repro.bench.stream_workload import stream_maintenance
+
+GATE_SPEEDUP = 5.0
+
+
+def main() -> int:
+    report_only = os.environ.get("REPRO_STREAM_GATE", "").lower() == "report"
+    profile = get_profile()
+    for table in stream_maintenance(profile):
+        print(table.to_text())
+        speedup = table.column("Speedup")[-1]
+        noops = table.column("NO-OP")[-1]
+        assert "verified equal" in table.notes, table.notes
+        verdict = (
+            f"amortized speedup over recompute-per-update: {speedup:.1f}x "
+            f"({noops} NO-OP classifications; gate: >= {GATE_SPEEDUP}x)"
+        )
+        if report_only:
+            print(f"[report-only] {verdict}")
+        else:
+            assert speedup >= GATE_SPEEDUP, verdict
+            print(f"PASS {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,8 +52,10 @@ from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
 from repro.shard.engine import ShardedGeoSocialEngine
 from repro.spatial.point import BBox, LocationTable
+from repro.stream.registry import SubscriptionRegistry
+from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -84,6 +86,10 @@ __all__ = [
     "ResultCache",
     # sharding layer
     "ShardedGeoSocialEngine",
+    # stream layer (continuous queries)
+    "SubscriptionRegistry",
+    "Subscription",
+    "StreamStats",
     # data model
     "SocialGraph",
     "LocationTable",

@@ -32,6 +32,13 @@ Kernels accept user batches as any integer sequence (Python lists or
 ``intp`` id-arrays from :meth:`repro.spatial.grid.UniformGrid.ids_in`)
 and coordinate columns as whatever
 :meth:`repro.spatial.point.LocationTable.columns` stores.
+
+Besides the searchers, the stream layer's repair pass
+(:meth:`repro.stream.SubscriptionRegistry.flush`) leans on
+``euclidean_to_point`` to re-derive the spatial column of a whole
+pending-delta batch in one call — bit-identical to what the searchers
+computed, which is what makes repaired results indistinguishable from
+fresh ones.
 """
 
 from __future__ import annotations

@@ -416,6 +416,14 @@ def sharded(profile: BenchProfile | None = None) -> list[ExperimentTable]:
     return sharded_scaling(profile)
 
 
+def stream(profile: BenchProfile | None = None) -> list[ExperimentTable]:
+    """Continuous-subscription maintenance (not a paper figure: the
+    stream layer's amortized cost vs recompute-per-update)."""
+    from repro.bench.stream_workload import stream_maintenance
+
+    return stream_maintenance(profile)
+
+
 ALL_EXPERIMENTS = {
     "table2": table2,
     "fig7a": fig7a,
@@ -430,4 +438,5 @@ ALL_EXPERIMENTS = {
     "fig14b": fig14b,
     "service": service,
     "sharded": sharded,
+    "stream": stream,
 }

@@ -1,0 +1,228 @@
+"""Stream-maintenance workload: standing queries under a mostly-stable
+Zipf update stream.
+
+The production scenario behind :mod:`repro.stream`: a fleet of
+standing queries (hot users watching their top-k companions) while the
+whole population reports location updates.  Most updates come from
+users far away from every standing query — the *mostly-stable* regime
+— so the registry's NO-OP screen discharges them in O(1), a few repair,
+and only a handful recompute.
+
+The baseline is *recompute-per-update*: without incremental
+maintenance, a continuous-query server keeps results current by
+re-running every standing query after every update.  The benchmark
+reports the amortized per-update cost of both and their speedup, and
+verifies at the end that the maintained results equal the baseline's
+(fresh) ones.
+
+Backs ``benchmarks/bench_stream_maintenance.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentTable
+from repro.bench.service_workload import zipf_arrivals
+from repro.core.engine import GeoSocialEngine
+from repro.datasets.synthetic import gowalla_like
+from repro.service.service import QueryService
+from repro.stream.registry import SubscriptionRegistry
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class StreamPoint:
+    """One measured maintenance configuration.
+
+        >>> from repro.bench.stream_workload import StreamPoint
+        >>> point = StreamPoint("maintained", updates=100, seconds=0.5,
+        ...                     noops=90, repairs=8, recomputes=2)
+        >>> round(point.per_update_ms, 1)
+        5.0
+    """
+
+    label: str
+    updates: int
+    seconds: float
+    noops: int = 0
+    repairs: int = 0
+    recomputes: int = 0
+
+    @property
+    def per_update_ms(self) -> float:
+        """Amortized milliseconds per update (maintenance + reads)."""
+        return (self.seconds / self.updates) * 1e3 if self.updates else 0.0
+
+
+def _build_update_stream(engine, subs, count: int, seed: int):
+    """A mostly-stable stream: Zipf-weighted movers, mostly small
+    jitter far from the standing queries, occasionally a member or a
+    teleport (the updates that force repairs/recomputes)."""
+    rng = make_rng(seed)
+    population = list(range(engine.graph.n))
+    watched = {sub.user for sub in subs}
+    for sub in subs:
+        watched.update(sub.result.users if sub.result is not None else ())
+    cold = [u for u in population if u not in watched]
+    arrivals = zipf_arrivals(cold, count=count, skew=1.05, seed=seed + 1)
+    hot = sorted(watched)
+    stream = []
+    for i, mover in enumerate(arrivals):
+        roll = rng.random()
+        if roll < 0.05 and hot:  # a watched user moves: repair/recompute
+            mover = rng.choice(hot)
+        location = engine.locations.get(mover)
+        if location is None or roll >= 0.92:
+            x, y = rng.random(), rng.random()  # (re)appear anywhere
+        else:
+            x = min(1.0, max(0.0, location[0] + rng.uniform(-0.01, 0.01)))
+            y = min(1.0, max(0.0, location[1] + rng.uniform(-0.01, 0.01)))
+        stream.append((mover, x, y))
+    return stream
+
+
+def run_stream_point(
+    *,
+    n: int = 1500,
+    n_subs: int = 12,
+    updates: int = 200,
+    read_every: int = 10,
+    k: int = 10,
+    alpha: float = 0.3,
+    method: str = "tsa",
+    seed: int = 99,
+) -> tuple[StreamPoint, StreamPoint, bool]:
+    """Measure maintained vs recompute-per-update on one dataset.
+
+    Returns ``(maintained, baseline, results_equal)`` where
+    ``results_equal`` verifies the maintained results match the
+    baseline's final fresh recomputes exactly.
+    """
+    dataset = gowalla_like(n=n, seed=seed)
+    # Two engines over identical data (the streams mutate locations, so
+    # each run owns its copy); shared normalization keeps scores equal.
+    maintained_engine = GeoSocialEngine(
+        dataset.graph, dataset.locations.copy(), num_landmarks=4, s=6, seed=seed
+    )
+    baseline_engine = GeoSocialEngine(
+        dataset.graph,
+        dataset.locations.copy(),
+        num_landmarks=4,
+        s=6,
+        seed=seed,
+        landmarks=maintained_engine.landmarks,
+        normalization=maintained_engine.normalization,
+    )
+    located = list(maintained_engine.locations.located_users())
+    query_users = zipf_arrivals(located, count=n_subs * 4, skew=1.2, seed=seed)
+    query_users = list(dict.fromkeys(query_users))[:n_subs]
+
+    service = QueryService(maintained_engine, cache_size=0)
+    registry = SubscriptionRegistry(service)
+    subs = [registry.subscribe(u, k=k, alpha=alpha, method=method) for u in query_users]
+    stream = _build_update_stream(maintained_engine, subs, updates, seed)
+    # Baseline the counters after the initial subscribe-time fills, so
+    # the reported mix covers stream maintenance only.
+    stats = registry.stats
+    base_noops, base_repairs, base_recomputes = (
+        stats.noops,
+        stats.repairs_applied,
+        stats.recomputes_applied,
+    )
+
+    # --- maintained: classify every update, read on a cadence -------
+    start = time.perf_counter()
+    for i, (mover, x, y) in enumerate(stream):
+        service.move_user(mover, x, y)
+        if (i + 1) % read_every == 0:
+            registry.flush()
+    maintained_results = {sub.user: registry.result(sub) for sub in subs}
+    maintained_seconds = time.perf_counter() - start
+    maintained = StreamPoint(
+        "maintained",
+        updates=len(stream),
+        seconds=maintained_seconds,
+        noops=stats.noops - base_noops,
+        repairs=stats.repairs_applied - base_repairs,
+        recomputes=stats.recomputes_applied - base_recomputes,
+    )
+
+    # --- baseline: recompute every standing query on every update ---
+    start = time.perf_counter()
+    baseline_results = {}
+    for mover, x, y in stream:
+        baseline_engine.move_user(mover, x, y)
+        for user in query_users:
+            baseline_results[user] = baseline_engine.query(user, k, alpha, method)
+    baseline_seconds = time.perf_counter() - start
+    baseline = StreamPoint(
+        "recompute-per-update",
+        updates=len(stream),
+        seconds=baseline_seconds,
+        recomputes=len(stream) * len(query_users),
+    )
+
+    equal = all(
+        [(nb.user, nb.score) for nb in maintained_results[user]]
+        == [(nb.user, nb.score) for nb in baseline_results[user]]
+        for user in query_users
+    )
+    registry.close()
+    service.close()
+    maintained_engine.close()
+    baseline_engine.close()
+    return maintained, baseline, equal
+
+
+def stream_maintenance(profile: BenchProfile | None = None) -> list[ExperimentTable]:
+    """The ``stream`` experiment: amortized maintenance cost vs the
+    recompute-per-update baseline on a mostly-stable Zipf workload."""
+    profile = profile if profile is not None else get_profile()
+    scale = {"smoke": (500, 6, 60), "quick": (1500, 12, 200)}.get(
+        profile.name, (3000, 16, 300)
+    )
+    n, n_subs, updates = scale
+    maintained, baseline, equal = run_stream_point(
+        n=n,
+        n_subs=n_subs,
+        updates=updates,
+        k=profile.default_k if profile.name != "smoke" else 10,
+        alpha=profile.default_alpha,
+        seed=profile.seed,
+    )
+    table = ExperimentTable(
+        experiment="stream",
+        title=(
+            f"continuous top-k maintenance, {n_subs} subscriptions, "
+            f"{updates} updates (n={n})"
+        ),
+        headers=[
+            "Strategy",
+            "ms/update",
+            "NO-OP",
+            "Repairs",
+            "Recomputes",
+            "Speedup",
+        ],
+        notes="maintained results verified equal to recompute-per-update"
+        if equal
+        else "WARNING: maintained results diverged from the baseline",
+    )
+    speedup = baseline.seconds / max(maintained.seconds, 1e-12)
+    table.add_row(
+        [baseline.label, baseline.per_update_ms, 0, 0, baseline.recomputes, 1.0]
+    )
+    table.add_row(
+        [
+            maintained.label,
+            maintained.per_update_ms,
+            maintained.noops,
+            maintained.repairs,
+            maintained.recomputes,
+            speedup,
+        ]
+    )
+    return [table]

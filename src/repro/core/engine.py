@@ -75,6 +75,18 @@ METHODS = (
     "bruteforce",
 )
 
+#: methods whose per-neighbor social distances are forward-Dijkstra
+#: values — deterministic functions of (graph, query, candidate),
+#: independent of evaluation schedule and location state — so a stored
+#: distance is bit-identical to what a fresh search would recompute.
+#: The AIS family and the CH-backed methods evaluate bidirectionally
+#: (float association may differ by 1 ulp between schedules).  The
+#: update-stream layers (repair-aware result cache, subscription
+#: registry) repair results in place only for these methods.
+FORWARD_DETERMINISTIC_METHODS = frozenset(
+    {"sfa", "spa", "tsa", "tsa-plain", "tsa-qc", "bruteforce"}
+)
+
 _ALPHA0_ROUTE = {"sfa": "spa", "tsa": "spa", "tsa-plain": "spa", "tsa-qc": "spa", "sfa-ch": "spa-ch", "tsa-ch": "spa-ch", "ais-cache": "spa"}
 # At alpha == 1 the spatial index is useless *and insufficient*: users
 # without a location are legitimate pure-social answers but are absent
@@ -521,7 +533,10 @@ class GeoSocialEngine:
                 self._index_move(user, x, y)
             else:
                 self._index_insert(user, x, y)
-            for listener in self._location_listeners:
+            # Snapshot: a listener may detach itself (or a sibling)
+            # from another thread without this write lock; mutating the
+            # live list mid-iteration could silently skip a listener.
+            for listener in list(self._location_listeners):
                 listener(user, x, y)
 
     def forget_location(self, user: int) -> None:
@@ -534,7 +549,7 @@ class GeoSocialEngine:
                 return
             self.locations.clear(user)
             self._index_remove(user)
-            for listener in self._location_listeners:
+            for listener in list(self._location_listeners):
                 listener(user, None, None)
 
     def _check_unfiltered(self, op: str) -> None:

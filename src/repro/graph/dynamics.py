@@ -154,7 +154,7 @@ class DynamicLandmarkTables:
             self._apply_increase(u, v, None)
         # weight == old: no-op
         self.updates_applied += 1
-        for listener in self._listeners:
+        for listener in list(self._listeners):
             listener(u, v, weight)
 
     def _apply_decrease(self, u: int, v: int, weight: float) -> None:

@@ -1,27 +1,37 @@
-"""Update-aware LRU cache of SSRQ results.
+"""Update-aware, repair-aware LRU cache of SSRQ results.
 
 Urban query workloads are heavily skewed — a small set of hot users
 issues most of the traffic — so caching whole top-k results pays off
 enormously *if* the cache can survive a dynamic world where users move
 constantly.  This module provides that: an LRU keyed on the full query
 signature ``(user, k, α, method, t, normalization)`` with hit/miss
-statistics, plus invalidation that evicts exactly the entries a given
-update can affect instead of flushing everything.
+statistics, plus invalidation that *repairs or evicts exactly* the
+entries a given update can affect instead of flushing everything.
 
-**Location update of user m → exact screening.**  A move can only
-change a cached ranking in three ways, each of which the cache detects
-precisely:
+**Location update of user m → exact screening, then repair.**  A move
+can only change a cached ranking in three ways, each of which the cache
+detects precisely:
 
 1. queries *issued by* ``m`` (its spatial component moved) — tracked by
-   a per-query-user key index;
+   a per-query-user key index; evicted (every spatial term changed:
+   a recompute on the next miss);
 2. queries whose cached top-k *contains* ``m`` (its score changed) —
-   tracked by an inverted member → keys index;
+   tracked by an inverted member → keys index.  For methods whose
+   stored social distances are schedule-independent
+   (:data:`~repro.core.engine.FORWARD_DETERMINISTIC_METHODS`) the
+   entry is *repaired in place*: the move changed only ``m``'s spatial
+   term, so
+   re-scoring ``m`` with its stored social distance and re-sorting is
+   the fresh answer — unless the new key exceeds the old k-th key, in
+   which case ``m`` may drop out, the old (k+1)-th is unknown, and the
+   entry is evicted (see :mod:`repro.stream.conditions` for the safety
+   argument);
 3. queries that ``m`` could *newly enter*: since scores are
    ``f = α·p/P_max + (1−α)·d/D_max`` and ``p ≥ 0``, the spatial part
    alone lower-bounds ``m``'s new score; if
    ``(1−α)·d(q, m_new)/D_max ≥ f_k`` the entry provably cannot change
-   and survives.  Pure-social entries (``α = 1``) are never affected by
-   location updates at all.
+   and survives (counted as *reused*).  Pure-social entries (``α = 1``)
+   are never affected by location updates at all.
 
 The screen costs O(cache) per update with an O(1) check per entry;
 ``scan_limit`` caps that work — a larger cache falls back to an
@@ -49,8 +59,9 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
+from repro.core.engine import FORWARD_DETERMINISTIC_METHODS
 from repro.core.ranking import _TINY
-from repro.core.result import SSRQResult
+from repro.core.result import Neighbor, SSRQResult
 
 INF = math.inf
 
@@ -59,12 +70,47 @@ CacheKey = tuple
 
 _KEY_K = 1
 _KEY_ALPHA = 2
+_KEY_METHOD = 3
+_KEY_NORM = 5
 
 
 def _key_alpha(key: CacheKey) -> float | None:
     """The α slot of a service-shaped key, or ``None`` for foreign key
     shapes (plain LRU use) — callers treat ``None`` conservatively."""
     return key[_KEY_ALPHA] if len(key) > _KEY_ALPHA else None
+
+
+class InvalidationOutcome(int):
+    """Result of one update-aware invalidation pass.
+
+    Behaves as the number of *evicted* entries (an ``int`` subclass, so
+    existing arithmetic and assertions keep working) and additionally
+    reports how many entries were repaired in place, how many were
+    examined and provably kept, and whether the pass fell back to an
+    epoch flush.
+
+        >>> from repro.service.cache import InvalidationOutcome
+        >>> out = InvalidationOutcome(2, repaired=1, reused=5)
+        >>> out == 2, out.repaired, out.reused, out.full_flush
+        (True, 1, 5, False)
+    """
+
+    repaired: int
+    reused: int
+    full_flush: bool
+
+    def __new__(
+        cls, evicted: int, *, repaired: int = 0, reused: int = 0, full_flush: bool = False
+    ) -> "InvalidationOutcome":
+        self = super().__new__(cls, evicted)
+        self.repaired = repaired
+        self.reused = reused
+        self.full_flush = full_flush
+        return self
+
+    @property
+    def evicted(self) -> int:
+        return int(self)
 
 
 @dataclass
@@ -76,8 +122,14 @@ class CacheStats:
     insertions: int = 0
     #: LRU capacity evictions
     evictions: int = 0
-    #: entries removed by update-aware invalidation
+    #: entries removed by update-aware invalidation (each one forces a
+    #: recompute on its next lookup)
     invalidated: int = 0
+    #: entries *repaired in place* by an update (single-candidate
+    #: re-score; see the module docstring) instead of evicted
+    repaired: int = 0
+    #: entries an update examined and provably kept (screen NO-OP)
+    reused: int = 0
     #: epoch bumps (full flushes)
     full_invalidations: int = 0
 
@@ -207,7 +259,7 @@ class ResultCache:
 
     # -- update-aware invalidation ------------------------------------
 
-    def invalidate_all(self) -> int:
+    def invalidate_all(self) -> "InvalidationOutcome":
         """Epoch-based full invalidation: drop every entry at once."""
         with self._lock:
             removed = len(self._entries)
@@ -217,7 +269,7 @@ class ResultCache:
             self.epoch += 1
             self.stats.invalidated += removed
             self.stats.full_invalidations += 1
-            return removed
+            return InvalidationOutcome(removed, full_flush=True)
 
     def invalidate_query_user(self, user: int) -> int:
         """Drop every cache line keyed by query user ``user``."""
@@ -232,35 +284,54 @@ class ResultCache:
         *,
         query_location: Callable[[int], tuple[float, float] | None],
         d_max: float,
-    ) -> int:
-        """Evict exactly the entries a location update can affect.
+    ) -> "InvalidationOutcome":
+        """Repair or evict exactly the entries a location update can
+        affect.
 
         ``(x, y)`` is the user's *new* position (``None`` for a
         forgotten location); ``query_location`` resolves a query user's
         current position; ``d_max`` is the spatial normaliser the cached
-        scores were computed under.  Returns the number of entries
-        evicted.
+        scores were computed under.  Returns an
+        :class:`InvalidationOutcome` (``int``-compatible: the number of
+        entries evicted) that also counts in-place repairs and entries
+        provably kept.
         """
         with self._lock:
             if self.scan_limit is not None and len(self._entries) > self.scan_limit:
                 return self.invalidate_all()
             evict: set[CacheKey] = set()
+            repaired = reused = 0
+            #: keys already resolved (kept, repaired, or mover-is-member)
+            #: — the entrant scan below must not re-examine or re-count
+            #: them
+            settled: set[CacheKey] = set()
             for key in self._by_query_user.get(user, ()):
                 if _key_alpha(key) == 1.0:
-                    continue  # pure-social: location cannot matter
-                evict.add(key)
-            for key in self._by_member.get(user, ()):
-                if _key_alpha(key) == 1.0:
+                    if key not in settled:
+                        reused += 1  # pure-social: location cannot matter
+                        settled.add(key)
                     continue
                 evict.add(key)
+            for key in list(self._by_member.get(user, ())):
+                if key in evict or key in settled:
+                    continue
+                settled.add(key)
+                if _key_alpha(key) == 1.0:
+                    reused += 1
+                    continue
+                if self._repair_member_locked(key, user, x, y, query_location):
+                    repaired += 1
+                else:
+                    evict.add(key)
             if x is not None:
                 # The mover may newly enter someone else's top-k; keep
                 # only entries whose spatial lower bound proves it out.
                 for key, result in self._entries.items():
-                    if key in evict:
+                    if key in evict or key in settled:
                         continue
                     alpha = _key_alpha(key)
                     if alpha == 1.0:
+                        reused += 1
                         continue
                     if not isinstance(result, SSRQResult) or alpha is None:
                         evict.add(key)
@@ -286,7 +357,79 @@ class ResultCache:
                     lower = w_spatial * math.sqrt(dx * dx + dy * dy)
                     if lower <= result.fk:
                         evict.add(key)
-            return self._discard_keys(evict)
+                    else:
+                        reused += 1
+            removed = self._discard_keys(evict)
+            self.stats.repaired += repaired
+            self.stats.reused += reused
+            return InvalidationOutcome(removed, repaired=repaired, reused=reused)
+
+    def _repair_member_locked(
+        self,
+        key: CacheKey,
+        user: int,
+        x: float | None,
+        y: float | None,
+        query_location: Callable[[int], tuple[float, float] | None],
+    ) -> bool:
+        """Try to repair one cached entry whose top-k *contains* the
+        mover: re-score the mover from its stored social distance and
+        re-sort.  ``False`` means the entry must be evicted instead
+        (non-repairable method, the mover may have dropped out, or the
+        key shape is foreign).  See :mod:`repro.stream.conditions` for
+        why the repaired entry equals a fresh recompute.
+        """
+        if len(key) <= _KEY_NORM:
+            return False  # foreign key shape: evict conservatively
+        method, norm = key[_KEY_METHOD], key[_KEY_NORM]
+        if method not in FORWARD_DETERMINISTIC_METHODS:
+            return False  # e.g. AIS: scores are schedule-dependent
+        if not (isinstance(norm, tuple) and len(norm) == 2):
+            return False
+        result = self._entries.get(key)
+        if not isinstance(result, SSRQResult):
+            return False
+        alpha, k = key[_KEY_ALPHA], key[_KEY_K]
+        neighbors = result.neighbors
+        full = len(neighbors) >= k
+        if x is None or y is None:
+            # The mover lost its location: it drops out.  With an open
+            # slot that *is* the fresh answer; at capacity the old
+            # (k+1)-th is unknown.
+            if full:
+                return False
+            repaired = [nb for nb in neighbors if nb.user != user]
+        else:
+            q = query_location(result.query_user)
+            if q is None:
+                return False
+            p_max, d_max = norm
+            w_social = alpha / max(p_max, _TINY)
+            w_spatial = (1.0 - alpha) / max(d_max, _TINY)
+            dx = q[0] - x
+            dy = q[1] - y
+            d = math.sqrt(dx * dx + dy * dy)
+            moved = next(nb for nb in neighbors if nb.user == user)
+            # RankingFunction.score association, zero-weight gating incl.
+            social_part = w_social * moved.social if w_social != 0.0 else 0.0
+            spatial_part = w_spatial * d if w_spatial != 0.0 else 0.0
+            new_score = social_part + spatial_part
+            if new_score != new_score or new_score == INF:
+                return False
+            if full:
+                worst = neighbors[-1]
+                if (new_score, user) > (worst.score, worst.user):
+                    return False  # may drop below the unknown (k+1)-th
+            repaired = sorted(
+                [nb for nb in neighbors if nb.user != user]
+                + [Neighbor(user, new_score, moved.social, d)],
+                key=lambda nb: (nb.score, nb.user),
+            )
+        new_result = SSRQResult(result.query_user, result.k, result.alpha, repaired, result.stats)
+        self._drop_from_indexes(key, result)
+        self._entries[key] = new_result  # in place: LRU position kept
+        self._index(key, new_result)
+        return True
 
     def invalidate_edge_update(
         self,
@@ -294,7 +437,7 @@ class ResultCache:
         v: int,
         *,
         neighbors_of: Callable[[int], Iterable[int]] | None = None,
-    ) -> int:
+    ) -> "InvalidationOutcome":
         """Invalidate after a social-edge insert/delete/re-weight.
 
         With no configured ``edge_blast_radius`` (or no adjacency to
@@ -307,16 +450,17 @@ class ResultCache:
                 return self.invalidate_all()
             ball = self._hop_ball((u, v), self.edge_blast_radius, neighbors_of)
             evict: set[CacheKey] = set()
-            for member in ball:
-                for key in self._by_query_user.get(member, ()):
-                    if _key_alpha(key) == 0.0:
-                        continue  # pure-spatial: edges cannot matter
-                    evict.add(key)
-                for key in self._by_member.get(member, ()):
-                    if _key_alpha(key) == 0.0:
-                        continue
-                    evict.add(key)
-            return self._discard_keys(evict)
+            kept: set[CacheKey] = set()  # counted once, however many
+            for member in ball:          # ball members touch the entry
+                for index in (self._by_query_user, self._by_member):
+                    for key in index.get(member, ()):
+                        if _key_alpha(key) == 0.0:
+                            kept.add(key)  # pure-spatial: edges cannot matter
+                        else:
+                            evict.add(key)
+            removed = self._discard_keys(evict)
+            self.stats.reused += len(kept)
+            return InvalidationOutcome(removed, reused=len(kept))
 
     @staticmethod
     def _hop_ball(

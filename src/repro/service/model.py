@@ -120,8 +120,13 @@ class ServiceStats:
     deduplicated: int = 0
     #: queries actually executed against the engine
     executed: int = 0
-    #: cache entries evicted by update-aware invalidation
+    #: cache entries evicted by update-aware invalidation (each one
+    #: forces a recompute on its next lookup)
     invalidated_entries: int = 0
+    #: cache entries repaired in place by an update instead of evicted
+    repaired_entries: int = 0
+    #: cache entries an update examined and provably kept
+    reused_entries: int = 0
     #: epoch bumps (full cache invalidations)
     full_invalidations: int = 0
     #: wall-clock seconds spent executing queries (sum over queries)
@@ -164,6 +169,8 @@ class ServiceStats:
             "deduplicated": self.deduplicated,
             "executed": self.executed,
             "invalidated_entries": self.invalidated_entries,
+            "repaired_entries": self.repaired_entries,
+            "reused_entries": self.reused_entries,
             "full_invalidations": self.full_invalidations,
             "query_seconds": self.query_seconds,
             "avg_query_seconds": self.avg_query_seconds,

@@ -117,6 +117,10 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._dynamics: "DynamicLandmarkTables | None" = None
         self._dynamics_lock = threading.Lock()
+        #: downstream edge-update subscribers (e.g. the stream layer's
+        #: SubscriptionRegistry); fed by _on_edge_update regardless of
+        #: whether result caching is enabled
+        self._edge_listeners: list = []
         if self.cache is not None:
             engine.add_location_listener(self._on_location_update)
 
@@ -367,6 +371,23 @@ class QueryService:
         self._dynamics = tables
         tables.add_update_listener(self._on_edge_update)
 
+    def add_edge_update_listener(self, listener) -> None:
+        """Subscribe ``listener(u, v, weight)`` to every social-edge
+        update flowing through this service's dynamics companion
+        (fired inside the update's write lock, after cache
+        invalidation).  The hook the stream layer's
+        :class:`~repro.stream.SubscriptionRegistry` rides — it stays
+        wired across :meth:`rebuild_engine` re-anchors, because the
+        service re-attaches *itself* to every new companion."""
+        self._edge_listeners.append(listener)
+
+    def remove_edge_update_listener(self, listener) -> None:
+        """Unsubscribe an edge-update listener (no-op if absent)."""
+        try:
+            self._edge_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def update_edge(self, u: int, v: int, weight: float | None) -> None:
         """Record a social-edge update: maintain the companion landmark
         tables incrementally and invalidate the result cache.
@@ -442,28 +463,39 @@ class QueryService:
     def _on_location_update(self, user: int, x: float | None, y: float | None) -> None:
         if self.cache is None:
             return
-        before = self.cache.stats.full_invalidations
-        evicted = self.cache.invalidate_location_update(
+        outcome = self.cache.invalidate_location_update(
             user,
             x,
             y,
             query_location=self.engine.locations.get,
             d_max=self.engine.normalization.d_max,
         )
+        # The outcome carries its own full-flush flag, so concurrent
+        # invalidations attribute their counters exactly (no
+        # read-around-the-call races on the shared cache stats).
         with self._stats_lock:
-            self.stats.invalidated_entries += evicted
-            self.stats.full_invalidations += self.cache.stats.full_invalidations - before
+            self.stats.invalidated_entries += int(outcome)
+            self.stats.repaired_entries += outcome.repaired
+            self.stats.reused_entries += outcome.reused
+            if outcome.full_flush:
+                self.stats.full_invalidations += 1
 
     def _on_edge_update(self, u: int, v: int, weight: float | None) -> None:
-        if self.cache is None:
-            return
-        before = self.cache.stats.full_invalidations
-        evicted = self.cache.invalidate_edge_update(
-            u, v, neighbors_of=lambda vertex: (nbr for nbr, _ in self.engine.graph.neighbors(vertex))
-        )
-        with self._stats_lock:
-            self.stats.invalidated_entries += evicted
-            self.stats.full_invalidations += self.cache.stats.full_invalidations - before
+        try:
+            if self.cache is None:
+                return
+            outcome = self.cache.invalidate_edge_update(
+                u, v, neighbors_of=lambda vertex: (nbr for nbr, _ in self.engine.graph.neighbors(vertex))
+            )
+            with self._stats_lock:
+                self.stats.invalidated_entries += int(outcome)
+                self.stats.reused_entries += outcome.reused
+                if outcome.full_flush:
+                    self.stats.full_invalidations += 1
+        finally:
+            # Snapshot: a listener may detach itself concurrently.
+            for listener in list(self._edge_listeners):
+                listener(u, v, weight)
 
     # -- introspection -------------------------------------------------
 
@@ -480,6 +512,8 @@ class QueryService:
             "hit_rate": stats.hit_rate,
             "evictions": stats.evictions,
             "invalidated": stats.invalidated,
+            "repaired": stats.repaired,
+            "reused": stats.reused,
             "full_invalidations": stats.full_invalidations,
             "epoch": self.cache.epoch,
         }

@@ -326,6 +326,25 @@ class ShardedGeoSocialEngine:
         """The shard owning ``user`` (``None`` while unlocated)."""
         return self._owner.get(user)
 
+    def envelope_mindist(self, sid: int, x: float, y: float) -> float:
+        """Distance from ``(x, y)`` to shard ``sid``'s member envelope
+        (its widen-only pruning bbox): 0 inside, ``inf`` for an empty
+        or unmaterialised shard.
+
+        This is the shard-aware delta-routing primitive: the stream
+        layer (:mod:`repro.stream`) skips a whole group of standing
+        queries when an update lands farther from their shard's
+        envelope than any of them can reach — only shards whose pruning
+        envelopes intersect the update fan out.  The envelope always
+        contains the shard's current members (moves widen it in place),
+        so the bound is sound even between
+        :meth:`refresh_bounds` calls.
+        """
+        bounds = self._bounds.get(sid)
+        if bounds is None or bounds.count <= 0:
+            return INF
+        return bounds.spatial_lower_bound(x, y)
+
     def shard_sizes(self) -> dict[int, int]:
         """Member counts per materialised shard."""
         return {sid: b.count for sid, b in sorted(self._bounds.items())}
@@ -524,7 +543,9 @@ class ShardedGeoSocialEngine:
                     self._bounds[new_sid].add_member(x, y, self.landmarks.vector(user))
                 self._owner[user] = new_sid
             self.update_epoch += 1
-            for listener in self._location_listeners:
+            # Snapshot: listeners may detach concurrently (see the
+            # single engine's move_user).
+            for listener in list(self._location_listeners):
                 listener(user, x, y)
 
     def forget_location(self, user: int) -> None:
@@ -539,7 +560,7 @@ class ShardedGeoSocialEngine:
             self._bounds[old_sid].remove_member()
             self.locations.clear(user)
             self.update_epoch += 1
-            for listener in self._location_listeners:
+            for listener in list(self._location_listeners):
                 listener(user, None, None)
 
     def refresh_bounds(self) -> None:

@@ -58,9 +58,14 @@ DOCUMENTED_MODULES = [
     "repro.shard.partitioner",
     "repro.shard.bounds",
     "repro.shard.parallel",
+    "repro.stream",
+    "repro.stream.conditions",
+    "repro.stream.registry",
+    "repro.stream.subscription",
     "repro.topk.merge",
     "repro.utils.concurrency",
     "repro.bench.service_workload",
+    "repro.bench.stream_workload",
 ]
 
 

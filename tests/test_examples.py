@@ -35,6 +35,7 @@ def test_examples_exist():
         "algorithm_comparison.py",
         "service_quickstart.py",
         "sharded_quickstart.py",
+        "stream_quickstart.py",
     } <= present
 
 
@@ -65,6 +66,13 @@ def test_service_quickstart_runs():
     assert "batched rankings identical to sequential engine.query: True" in out
     assert "verified against brute force: True" in out
     assert "epoch-based full invalidation" in out
+
+
+def test_stream_quickstart_runs():
+    out = run_example("stream_quickstart.py")
+    assert "standing queries" in out
+    assert "maintained results identical to fresh recompute: True" in out
+    assert "repaired" in out and "NO-OP" in out
 
 
 def test_sharded_quickstart_runs():

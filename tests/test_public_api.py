@@ -21,12 +21,13 @@ SUBPACKAGES = [
     "repro.bench",
     "repro.service",
     "repro.shard",
+    "repro.stream",
     "repro.utils",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_all_exports_resolve():
