@@ -108,20 +108,44 @@ def main() -> None:
 
     print(f"{'n':>8}  {'kernel':<12} " + "".join(f"{b.name:>12} " for b in backends) + f"{'speedup':>9}")
     gate_speedup = None
+    points = []
     for n in SIZES:
         xs, ys, tables, query_vector, ids = _dataset(n)
         results = {b.name: _bench_backend(b, xs, ys, tables, query_vector, ids) for b in backends}
         for kernel in ("distance", "alt_bound", "blend", "bulk_score"):
             row = f"{n:>8}  {kernel:<12} "
+            point = {"n": n, "kernel": kernel}
             for b in backends:
                 row += f"{results[b.name][kernel] * 1e3:>10.3f}ms "
+                point[f"{b.name}_s"] = results[b.name][kernel]
             if len(backends) == 2:
                 speedup = results["python"][kernel] / max(results["numpy"][kernel], 1e-12)
                 row += f"{speedup:>8.1f}x"
+                point["speedup"] = speedup
                 if n == GATE_SIZE and kernel == "bulk_score":
                     gate_speedup = speedup
+            points.append(point)
             print(row)
         print()
+
+    from repro.bench.artifacts import write_bench_json
+
+    print(
+        "wrote "
+        + str(
+            write_bench_json(
+                "kernels",
+                {
+                    "sizes": list(SIZES),
+                    "repeats": REPEATS,
+                    "gate_size": GATE_SIZE,
+                    "gate_speedup_required": GATE_SPEEDUP,
+                    "gate_speedup_measured": gate_speedup,
+                    "points": points,
+                },
+            )
+        )
+    )
 
     if gate_speedup is not None:
         verdict = f"bulk scoring at n={GATE_SIZE}: {gate_speedup:.1f}x (gate: >= {GATE_SPEEDUP}x)"

@@ -87,16 +87,25 @@ def test_batching_and_caching_speed_up_skewed_traffic(profile):
 
 
 def main() -> int:
-    for table in service_throughput():
+    from repro.bench.artifacts import tables_payload, write_bench_json
+
+    tables = list(service_throughput())
+    best = 0.0
+    hit_rate = 0.0
+    for table in tables:
         print(table.to_text())
         speedups = table.column("Speedup")
         hit_rates = table.column("Cache hit rate")
-        best = max(speedups)
+        best = max(best, max(speedups))
+        hit_rate = max(hit_rate, max(hit_rates))
         print(
-            f"\nbest speedup over sequential no-cache baseline: {best:.2f}x "
+            f"\nbest speedup over sequential no-cache baseline: {max(speedups):.2f}x "
             f"(best cache hit rate {max(hit_rates):.1%})"
         )
-        assert best > 1.0, "expected >1x speedup from batching+caching"
+        assert max(speedups) > 1.0, "expected >1x speedup from batching+caching"
+    payload = tables_payload(tables)
+    payload.update({"best_speedup": best, "best_cache_hit_rate": hit_rate})
+    print(f"wrote {write_bench_json('service_throughput', payload)}")
     return 0
 
 

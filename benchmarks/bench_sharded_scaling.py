@@ -93,7 +93,11 @@ def test_pruning_bound_skips_shards(profile):
 
 
 def main() -> int:
-    for table in sharded_scaling():
+    from repro.bench.artifacts import tables_payload, write_bench_json
+
+    tables = list(sharded_scaling())
+    summary = {}
+    for table in tables:
         print(table.to_text())
         shards_col = table.column("Shards")
         backend_col = table.column("Backend")
@@ -105,6 +109,7 @@ def main() -> int:
         }
         four_speedup = max(by_key[(4, b)][0] for b in ("inline", "process"))
         four_pruned = max(by_key[(4, b)][1] for b in ("inline", "process"))
+        summary = {"four_shard_speedup": four_speedup, "four_shard_pruned_fraction": four_pruned}
         print(
             f"\n4-shard speedup over 1 shard: {four_speedup:.2f}x "
             f"(pruned fraction {four_pruned:.1%})"
@@ -132,6 +137,9 @@ def main() -> int:
                 f"reported, not asserted — best 4-shard speedup here "
                 f"{four_speedup:.2f}x)"
             )
+    payload = tables_payload(tables)
+    payload.update(summary)
+    print(f"wrote {write_bench_json('sharded_scaling', payload)}")
     return 0
 
 

@@ -30,17 +30,33 @@ GATE_SPEEDUP = 5.0
 
 
 def main() -> int:
+    from repro.bench.artifacts import tables_payload, write_bench_json
+
     report_only = os.environ.get("REPRO_STREAM_GATE", "").lower() == "report"
     profile = get_profile()
-    for table in stream_maintenance(profile):
+    tables = list(stream_maintenance(profile))
+    summary = {}
+    verdicts = []
+    for table in tables:
         print(table.to_text())
         speedup = table.column("Speedup")[-1]
         noops = table.column("NO-OP")[-1]
         assert "verified equal" in table.notes, table.notes
-        verdict = (
-            f"amortized speedup over recompute-per-update: {speedup:.1f}x "
-            f"({noops} NO-OP classifications; gate: >= {GATE_SPEEDUP}x)"
+        summary = {"amortized_speedup": speedup, "noop_classifications": noops}
+        verdicts.append(
+            (
+                speedup,
+                f"amortized speedup over recompute-per-update: {speedup:.1f}x "
+                f"({noops} NO-OP classifications; gate: >= {GATE_SPEEDUP}x)",
+            )
         )
+    # The artifact is written before gating, so a failed gate still
+    # leaves the measured numbers on disk for the perf trajectory.
+    payload = tables_payload(tables)
+    payload.update(summary)
+    payload["gate_speedup_required"] = GATE_SPEEDUP
+    print(f"wrote {write_bench_json('stream_maintenance', payload)}")
+    for speedup, verdict in verdicts:
         if report_only:
             print(f"[report-only] {verdict}")
         else:

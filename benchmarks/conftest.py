@@ -13,14 +13,57 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench.artifacts import write_bench_json
 from repro.bench.config import get_profile
 
 PROFILE = get_profile()
+
+#: measured pytest-benchmark points per bench module, harvested by the
+#: autouse fixture below and written as one BENCH_<module>.json each at
+#: session end
+_RECORDED: dict[str, list[dict]] = {}
+
+
+def _bench_name(module_name: str) -> str:
+    short = module_name.rsplit(".", 1)[-1]
+    return short[len("bench_"):] if short.startswith("bench_") else short
 
 
 @pytest.fixture(scope="session")
 def profile():
     return PROFILE
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_recorder(request):
+    """Harvest every measured benchmark case into the module's JSON
+    artifact (no-op for plain tests and unmeasured cases)."""
+    yield
+    fixture = getattr(request.node, "funcargs", {}).get("benchmark")
+    meta = getattr(fixture, "stats", None)  # pytest-benchmark Metadata
+    stats = getattr(meta, "stats", None)
+    if stats is None:
+        return
+    point = {
+        "test": request.node.name,
+        "median_s": stats.median,
+        "mean_s": stats.mean,
+        "rounds": stats.rounds,
+        "extra_info": dict(getattr(meta, "extra_info", {}) or {}),
+    }
+    _RECORDED.setdefault(_bench_name(request.module.__name__), []).append(point)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for name, points in _RECORDED.items():
+        write_bench_json(
+            name,
+            {
+                "source": "pytest-benchmark",
+                "queries_per_point": PROFILE.queries,
+                "points": points,
+            },
+        )
 
 
 def run_point(benchmark, engine, users, method, k, alpha, t=None):

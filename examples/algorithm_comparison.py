@@ -25,7 +25,9 @@ print(f"workload: {len(users)} queries, k={k}, alpha={alpha}\n")
 
 reference = None
 print(f"{'method':>12} {'avg time':>10} {'pop ratio':>10} {'evals':>7}  result")
-for method in METHODS:
+# "auto" rides along: the adaptive planner resolves it per query (the
+# resolved pick lands on result.method) and must match everyone else.
+for method in METHODS + ("auto",):
     if method in ("sfa-ch", "spa-ch", "tsa-ch"):
         continue  # CH preprocessing is worthwhile only for repeated use
     start = time.perf_counter()

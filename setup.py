@@ -1,36 +1,9 @@
-"""Package metadata for the SSRQ reproduction.
+"""Thin legacy shim: all packaging metadata lives in ``pyproject.toml``
+(PEP 621), with the version single-sourced from ``repro.__version__``
+via ``[tool.setuptools.dynamic]``.  Kept only so tooling that still
+invokes ``setup.py`` directly (old editable-install flows, some CI
+images) keeps working."""
 
-``numpy`` is declared with a floor version for the vectorized data
-plane (:mod:`repro.backend`); the scalar backend keeps the library
-importable and correct when it is absent (``REPRO_BACKEND=python``
-forces that path even when numpy is installed).  The ``py.typed``
-marker ships the inline annotations to type checkers (PEP 561).
-"""
+from setuptools import setup
 
-import re
-from pathlib import Path
-
-from setuptools import find_packages, setup
-
-# Single source of truth for the version: repro.__version__.
-_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
-VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
-
-setup(
-    name="repro-ssrq",
-    version=VERSION,
-    description=(
-        "Reproduction of 'Joint Search by Social and Spatial Proximity' "
-        "(ICDE 2016): SSRQ algorithms, serving layer, sharding, and a "
-        "columnar NumPy data plane"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages("src"),
-    package_data={"repro": ["py.typed"]},
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.22"],
-    extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
-    },
-    zip_safe=False,
-)
+setup()

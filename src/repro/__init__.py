@@ -28,8 +28,9 @@ Quickstart::
 from repro.backend import resolve_backend
 from repro.core.ais import AggregateIndexSearch, AISVariant
 from repro.core.bruteforce import BruteForceSearch
-from repro.core.engine import METHODS, GeoSocialEngine
+from repro.core.engine import AUTO, METHODS, GeoSocialEngine, route_method
 from repro.core.precompute import CachedSocialFirst, SocialNeighborCache
+from repro.core.searcher import Searcher
 from repro.core.ranking import Normalization, RankingFunction
 from repro.core.result import Neighbor, SSRQResult, TopKBuffer
 from repro.core.sfa import SocialFirstSearch
@@ -47,6 +48,7 @@ from repro.datasets.synthetic import (
 )
 from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
+from repro.plan import AdaptivePlanner, CostModel, PlanDecision, PlannerStats, QueryFeatures
 from repro.service.cache import ResultCache
 from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
@@ -55,7 +57,7 @@ from repro.spatial.point import BBox, LocationTable
 from repro.stream.registry import SubscriptionRegistry
 from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -63,6 +65,15 @@ __all__ = [
     "GeoSocialEngine",
     "resolve_backend",
     "METHODS",
+    "AUTO",
+    "route_method",
+    "Searcher",
+    # adaptive planner (method="auto")
+    "AdaptivePlanner",
+    "PlanDecision",
+    "PlannerStats",
+    "CostModel",
+    "QueryFeatures",
     "SocialFirstSearch",
     "SpatialFirstSearch",
     "TwofoldSearch",

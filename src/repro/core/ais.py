@@ -196,6 +196,7 @@ class AggregateIndexSearch:
             if key > buffer.fk:
                 break
             if kind == _TOP:
+                stats.cells_opened += 1
                 for leaf, summary, bbox in index.children(payload):
                     social_lb = (
                         social_lower_bound(query_vector, summary.m_check, summary.m_hat)
@@ -211,6 +212,7 @@ class AggregateIndexSearch:
                     heap.push((child_key, seq, _LEAF, leaf))
                     seq += 1
             elif kind == _LEAF:
+                stats.cells_opened += 1
                 # One batched evaluation per leaf: exact spatial
                 # distances, per-vertex ALT bounds, and blended keys
                 # over the cell's id-array in three kernel calls.
@@ -230,6 +232,7 @@ class AggregateIndexSearch:
                 user, d = payload
                 if not rank.needs_social:
                     buffer.offer(user, rank.score(INF, d), INF, d)
+                    stats.candidates_scored += 1
                     continue
                 if variant.delayed_evaluation and engine.known_distance(user) is None:
                     beta_key = rank.social_part(engine.beta) + rank.spatial_part(d)
@@ -241,6 +244,7 @@ class AggregateIndexSearch:
                 p = engine.distance(user)
                 stats.evaluations += 1
                 buffer.offer(user, rank.score(p, d), p, d)
+                stats.candidates_scored += 1
 
         stats.pops_index = heap.pops
         stats.cache_hits = engine.cache_hits

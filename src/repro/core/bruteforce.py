@@ -98,5 +98,6 @@ class BruteForceSearch:
                 initial.offer(nb.user, nb.score, nb.social, nb.spatial)
             neighbors = initial.neighbors()
         stats.evaluations = kernels.count_finite(scores)
+        stats.candidates_scored = stats.evaluations
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, neighbors, stats)

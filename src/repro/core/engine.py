@@ -22,12 +22,16 @@ Methods (paper names):
 ``sfa-ch`` / ``spa-ch`` / ``tsa-ch``  CH-backed distance module (Fig. 8)
 ``ais-cache``     pre-computed social lists + AIS fallback (Fig. 11)
 ``bruteforce``    exact reference scan
+``auto``          cost-based adaptive selection (:mod:`repro.plan`)
 ================  ====================================================
 
 At the preference endpoints the engine routes degenerate requests the
 way the definitions demand: ``alpha == 0`` is a pure spatial query
 (SFA/TSA variants route to SPA) and ``alpha == 1`` a pure social one
-(SPA/TSA variants route to SFA).
+(SPA/TSA variants route to SFA).  ``method="auto"`` resolves per query
+through the engine's :class:`~repro.plan.AdaptivePlanner` — static
+endpoint rules, cheap per-query features, and online cost feedback —
+and returns the same ranking any fixed method would.
 """
 
 from __future__ import annotations
@@ -50,13 +54,23 @@ from repro.graph.ch import ContractionHierarchy
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
+from repro.plan.rules import AUTO, route_method
 from repro.spatial.grid import UniformGrid
 from repro.spatial.point import LocationTable
 from repro.utils.concurrency import ReadWriteLock
 from repro.utils.validation import check_alpha, check_user
 
 if TYPE_CHECKING:
+    from repro.plan.planner import AdaptivePlanner
     from repro.service.model import QueryRequest
+
+__all__ = [
+    "AUTO",
+    "FORWARD_DETERMINISTIC_METHODS",
+    "METHODS",
+    "GeoSocialEngine",
+    "route_method",
+]
 
 METHODS = (
     "sfa",
@@ -86,26 +100,6 @@ METHODS = (
 FORWARD_DETERMINISTIC_METHODS = frozenset(
     {"sfa", "spa", "tsa", "tsa-plain", "tsa-qc", "bruteforce"}
 )
-
-_ALPHA0_ROUTE = {"sfa": "spa", "tsa": "spa", "tsa-plain": "spa", "tsa-qc": "spa", "sfa-ch": "spa-ch", "tsa-ch": "spa-ch", "ais-cache": "spa"}
-# At alpha == 1 the spatial index is useless *and insufficient*: users
-# without a location are legitimate pure-social answers but are absent
-# from the grid/aggregate index, so every index-based method routes to
-# SFA (whose Dijkstra stream reaches them all).
-_ALPHA1_ROUTE = {
-    "spa": "sfa",
-    "tsa": "sfa",
-    "tsa-plain": "sfa",
-    "tsa-qc": "sfa",
-    "spa-ch": "sfa-ch",
-    "tsa-ch": "sfa-ch",
-    "ais": "sfa",
-    "ais-minus": "sfa",
-    "ais-bid": "sfa",
-    "ais-nosummary": "sfa",
-    "ais-cache": "sfa",
-}
-
 
 def _service_backed_query_many(
     engine,
@@ -140,21 +134,31 @@ def _close_cached_services(engine) -> None:
         service.close()
 
 
-def route_method(method: str, alpha: float) -> str:
-    """The method actually dispatched at preference ``alpha``.
+# ``route_method`` (imported above) lives in :mod:`repro.plan.rules`
+# now — the planner's static rule layer — and is re-exported here for
+# backward compatibility: every dispatch path still consults the one
+# table, so endpoint behavior is identical everywhere.
 
-    At the endpoints the requested method degenerates: ``alpha == 0``
-    is a pure spatial query (social-first variants route to SPA) and
-    ``alpha == 1`` a pure social one (index-based variants route to
-    SFA, whose Dijkstra stream also reaches users without a location).
-    Both :class:`GeoSocialEngine` and the sharded engine apply the same
-    routing, so their behavior is identical at the endpoints.
+
+def resolve_dispatch(engine, user, k, alpha, method, t=None):
+    """``(resolved_method, decision)`` for one query — the single
+    source of the resolution contract.  ``"auto"`` consults the
+    engine's planner (``decision`` carries the feature bucket for the
+    feedback loop); explicit methods validate against :data:`METHODS`
+    and take the static endpoint routing (``decision is None``).  Both
+    engine kinds and the service layer dispatch through this one
+    function, so the contract cannot drift between paths.
     """
-    if alpha == 0.0:
-        return _ALPHA0_ROUTE.get(method, method)
-    if alpha == 1.0:
-        return _ALPHA1_ROUTE.get(method, method)
-    return method
+    if method == AUTO:
+        # Validate before feature extraction: an out-of-range user
+        # must surface the engine's ValueError contract, not an
+        # IndexError from the planner's degree/location lookups.
+        check_user(user, engine.graph.n)
+        decision = engine.planner.resolve(engine, user, k, alpha, method, t)
+        return decision.method, decision
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    return route_method(method, alpha), None
 
 
 class GeoSocialEngine:
@@ -210,6 +214,12 @@ class GeoSocialEngine:
         at construction (see :func:`repro.backend.resolve_backend`) and
         propagated through :meth:`with_graph` rebuilds; both backends
         produce bit-identical rankings, tie-breaks included.
+    planner:
+        Optional pre-built :class:`~repro.plan.AdaptivePlanner`
+        resolving ``method="auto"`` (built lazily with this engine's
+        ``seed`` when omitted).  Carried across :meth:`with_graph`
+        rebuilds, so learned per-bucket costs survive
+        :meth:`~repro.service.QueryService.rebuild_engine`.
     """
 
     def __init__(
@@ -226,6 +236,7 @@ class GeoSocialEngine:
         landmarks: LandmarkIndex | None = None,
         index_users: Iterable[int] | None = None,
         backend: "str | Kernels" = "auto",
+        planner: "AdaptivePlanner | None" = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -259,6 +270,11 @@ class GeoSocialEngine:
         self.grid = UniformGrid.build(locations, s * s, users=members)
         self.aggregate = AggregateIndex.build(locations, self.landmarks, s, users=members)
         self._searchers: dict[str, object] = {}
+        #: the ``method="auto"`` resolver (lazily built on first use;
+        #: injectable for custom candidate sets / exploration rates,
+        #: and carried across ``with_graph`` rebuilds so learned costs
+        #: survive ``rebuild_engine``)
+        self._planner: "AdaptivePlanner | None" = planner
         self._ch: ContractionHierarchy | None = None
         self._ch_oracle: CHOracle | None = None
         self._caches: dict[int, SocialNeighborCache] = {}
@@ -317,6 +333,34 @@ class GeoSocialEngine:
         return cache
 
     # -- query dispatch -----------------------------------------------------
+
+    @property
+    def planner(self) -> "AdaptivePlanner":
+        """The ``method="auto"`` resolver (built on first use; assign a
+        custom :class:`~repro.plan.AdaptivePlanner` to tune candidates,
+        exploration, or calibration)."""
+        if self._planner is None:
+            from repro.plan.planner import AdaptivePlanner
+
+            with self._build_lock:
+                if self._planner is None:
+                    self._planner = AdaptivePlanner(seed=self.seed)
+        return self._planner
+
+    @planner.setter
+    def planner(self, planner: "AdaptivePlanner") -> None:
+        self._planner = planner
+
+    def resolve_method(
+        self, user: int, k: int = 30, alpha: float = 0.3, method: str = AUTO, t: int | None = None
+    ) -> str:
+        """The concrete method one query dispatches to: static endpoint
+        routing for explicit methods, the adaptive planner for
+        ``"auto"``.  The service layer keys its result cache on this
+        resolution, and the stream layer classifies repairability off
+        it — so screening and repairs always see the method that
+        actually ran."""
+        return resolve_dispatch(self, user, k, alpha, method, t)[0]
 
     def searcher(self, method: str, t: int | None = None):
         """The query-processor object behind ``method`` (cached)."""
@@ -418,15 +462,25 @@ class GeoSocialEngine:
         into the answer) — the threshold-propagation hook the sharded
         engine uses so later shards inherit a tight ``f_k`` and can
         terminate after a bound check.
+
+        ``method="auto"`` resolves to a concrete method through the
+        cost-based adaptive planner (:mod:`repro.plan`) and feeds the
+        measured wall time back to it; the result is identical to any
+        fixed method's (all of them implement Definition 1 with the
+        shared tie-break).  The executed method is recorded on
+        ``result.method`` either way.
         """
         check_user(user, self.graph.n)
         check_alpha(alpha)
-        if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-        method = route_method(method, alpha)
+        resolved, decision = resolve_dispatch(self, user, k, alpha, method, t)
         if initial is not None:
-            return self.searcher(method, t=t).search(user, k, alpha, initial=initial)
-        return self.searcher(method, t=t).search(user, k, alpha)
+            result = self.searcher(resolved, t=t).search(user, k, alpha, initial=initial)
+        else:
+            result = self.searcher(resolved, t=t).search(user, k, alpha)
+        result.method = resolved
+        if decision is not None:
+            self.planner.observe(decision, result.stats.elapsed)
+        return result
 
     def batch_query(
         self,
@@ -607,6 +661,9 @@ class GeoSocialEngine:
             # the resolved Kernels instance, not the name: a
             # user-supplied custom backend survives the rebuild too
             backend=self.kernels,
+            # the live planner instance: learned per-bucket costs keep
+            # steering method="auto" across the rebuild
+            planner=self._planner,
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)

@@ -145,6 +145,7 @@ class CachedSocialFirst:
             stats.evaluations += 1
             d = locations.distance(query_user, v) if rank.needs_spatial else INF
             buffer.offer(v, rank.score(p, d), p, d)
+            stats.candidates_scored += 1
             if rank.social_part(p) > buffer.fk:
                 terminated = True
                 break

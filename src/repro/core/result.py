@@ -138,6 +138,11 @@ class SSRQResult:
     alpha: float
     neighbors: list[Neighbor]
     stats: SearchStats = field(default_factory=SearchStats)
+    #: the concrete method that produced this result — set by the
+    #: engine dispatch layers (``None`` when a searcher is driven
+    #: directly); for ``method="auto"`` requests this is the planner's
+    #: per-query resolution
+    method: str | None = None
 
     @property
     def users(self) -> list[int]:

@@ -93,6 +93,7 @@ class SocialFirstSearch:
                     p_eval = p
                 d = locations.distance(query_user, v) if rank.needs_spatial else INF
                 buffer.offer(v, rank.score(p_eval, d), p_eval, d)
+                stats.candidates_scored += 1
             theta = rank.social_part(p)
             if theta > buffer.fk:
                 break

@@ -117,11 +117,13 @@ class SpatialFirstSearch:
             else:
                 p = INF
             buffer.offer(u, rank.score(p, d), p, d)
+            stats.candidates_scored += 1
             theta = rank.spatial_part(d)
             if theta > buffer.fk:
                 break
 
         stats.pops_spatial = nn.heap.pops
+        stats.cells_opened = nn.cells_opened
         if social is not None:
             stats.pops_social = social.heap.pops
         if oracle is not None:

@@ -32,6 +32,12 @@ class SearchStats:
     pops_spatial: int = 0
     #: pops from the AIS aggregate-index heap
     pops_index: int = 0
+    #: spatial/aggregate-index cells expanded (grid cells whose members
+    #: were enumerated, AIS top/leaf nodes opened)
+    cells_opened: int = 0
+    #: users whose combined score was computed and offered to the
+    #: interim result (the planner's work-volume proxy)
+    candidates_scored: int = 0
     #: exact graph-distance computations performed
     evaluations: int = 0
     #: distance requests answered from forward-search/path caches
@@ -58,6 +64,8 @@ class SearchStats:
         self.pops_social += other.pops_social
         self.pops_spatial += other.pops_spatial
         self.pops_index += other.pops_index
+        self.cells_opened += other.cells_opened
+        self.candidates_scored += other.candidates_scored
         self.evaluations += other.evaluations
         self.cache_hits += other.cache_hits
         self.reinsertions += other.reinsertions

@@ -167,6 +167,7 @@ class TwofoldSearch:
                     continue
                 d = locations.distance(query_user, v)
                 buffer.offer(v, rank.score(p, d), p, d)
+                stats.candidates_scored += 1
                 # Fully evaluated now; drop from Q if the spatial search
                 # had found it first (Algorithm 1, lines 7-8).
                 candidates.pop(v, None)
@@ -203,13 +204,14 @@ class TwofoldSearch:
                 )
             else:
                 self._resolve_with_social_search(
-                    query_user, rank, buffer, candidates, cand_heap, social, social_live
+                    query_user, rank, buffer, candidates, cand_heap, social, social_live, stats
                 )
 
         stats.pops_social += social.heap.pops
         if oracle is not None:
             stats.pops_social += oracle.pops - oracle_pops_before
         stats.pops_spatial = nn.heap.pops
+        stats.cells_opened = nn.cells_opened
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)
 
@@ -224,6 +226,7 @@ class TwofoldSearch:
         cand_heap: list[tuple[float, int]],
         social: DijkstraIterator,
         social_live: bool,
+        stats: SearchStats,
     ) -> None:
         """Continue the social expansion until every candidate is found
         or ruled out (Algorithm 1, lines 15-24)."""
@@ -244,6 +247,7 @@ class TwofoldSearch:
             d = candidates.pop(v, None)
             if d is not None:
                 buffer.offer(v, rank.score(p, d), p, d)
+                stats.candidates_scored += 1
         # Anything left in Q is either bounded out or unreachable
         # (p = inf -> f = inf): discard.
 
@@ -272,3 +276,4 @@ class TwofoldSearch:
             p = oracle.distance(query_user, u)
             stats.evaluations += 1
             buffer.offer(u, rank.score(p, d), p, d)
+            stats.candidates_scored += 1

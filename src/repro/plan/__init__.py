@@ -1,0 +1,46 @@
+"""plan — cost-based adaptive method selection (``method="auto"``).
+
+The paper's evaluation shows no SSRQ processing method dominates; this
+package turns the repo's library of interchangeable, rank-identical
+algorithms into a self-tuning engine:
+
+- :mod:`repro.plan.rules` — the static endpoint routing every dispatch
+  path shares (``route_method``), plus the ``auto`` sentinel;
+- :mod:`repro.plan.features` — cheap per-query features (``k``,
+  ``alpha``, query-user degree, index cell density) and their buckets;
+- :mod:`repro.plan.cost` — per-bucket running cost estimates with
+  coarse-to-fine fallback;
+- :mod:`repro.plan.planner` — the :class:`AdaptivePlanner` resolving
+  ``auto`` per query (static rules → features → epsilon-greedy over
+  learned costs, seeded by a calibration pass).
+
+Both engine kinds own a lazily-built planner (``engine.planner``) and
+expose ``engine.resolve_method(...)``; the service layer keys its
+result cache on the *resolved* method and feeds measured latencies
+back, and the stream layer resolves subscriptions once at subscribe
+time.
+"""
+
+from repro.plan.cost import CostModel
+from repro.plan.features import FeatureBucket, QueryFeatures, extract_features
+from repro.plan.planner import (
+    DEFAULT_CANDIDATES,
+    AdaptivePlanner,
+    PlanDecision,
+    PlannerStats,
+)
+from repro.plan.rules import AUTO, route_method, static_choice
+
+__all__ = [
+    "AUTO",
+    "AdaptivePlanner",
+    "CostModel",
+    "DEFAULT_CANDIDATES",
+    "FeatureBucket",
+    "PlanDecision",
+    "PlannerStats",
+    "QueryFeatures",
+    "extract_features",
+    "route_method",
+    "static_choice",
+]

@@ -1,0 +1,128 @@
+"""Online per-(feature-bucket, method) cost estimates.
+
+The model keeps exponentially-weighted running means of observed query
+cost at three resolutions, coarse to fine:
+
+1. **global** per method — seeded by the calibration pass, always
+   available after it;
+2. **alpha-marginal** per ``(alpha_bucket, method)`` — the dominant
+   crossover axis of the paper's evaluation (Figures 7 and 9), so a
+   handful of observations already separate social-heavy from
+   spatial-heavy regimes;
+3. **full bucket** per ``(bucket, method)`` — specializes as real
+   traffic repeats a regime (Zipf workloads concentrate mass on few
+   buckets, so the fine level converges quickly exactly where it
+   matters).
+
+:meth:`CostModel.estimate` answers from the finest level that has data;
+:meth:`CostModel.observe` updates all three.  All operations take the
+model's lock, so engine worker pools can feed observations
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.plan.features import FeatureBucket
+
+
+class _Ewma:
+    """Exponentially-weighted mean with an observation count."""
+
+    __slots__ = ("value", "count")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.count = 0
+
+    def update(self, x: float, decay: float) -> None:
+        self.count += 1
+        if self.count == 1:
+            self.value = x
+        else:
+            self.value += decay * (x - self.value)
+
+
+class CostModel:
+    """Running cost estimates feeding the adaptive planner.
+
+        >>> from repro.plan import CostModel
+        >>> model = CostModel()
+        >>> bucket = (1, 2, 3, 0)
+        >>> model.observe(bucket, "sfa", 0.5)
+        >>> model.observe(bucket, "spa", 0.1)
+        >>> model.estimate(bucket, "spa") < model.estimate(bucket, "sfa")
+        True
+        >>> model.estimate((0, 0, 0, 0), "spa")  # falls back to coarser levels
+        0.1
+        >>> model.estimate(bucket, "tsa") is None
+        True
+
+    Parameters
+    ----------
+    decay:
+        EWMA step toward each new observation (``0 < decay <= 1``);
+        higher values adapt faster to drifting workloads.
+    """
+
+    def __init__(self, decay: float = 0.25) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self._lock = threading.Lock()
+        self._bucket: dict[tuple, _Ewma] = {}
+        self._alpha: dict[tuple, _Ewma] = {}
+        self._global: dict[str, _Ewma] = {}
+        self._bucket_counts: dict[FeatureBucket, int] = {}
+
+    @staticmethod
+    def _alpha_key(bucket: FeatureBucket, method: str) -> tuple:
+        return (bucket[1], method)
+
+    def observe(self, bucket: FeatureBucket, method: str, cost: float) -> None:
+        """Fold one measured query cost into all three levels."""
+        decay = self.decay
+        with self._lock:
+            for table, key in (
+                (self._bucket, (bucket, method)),
+                (self._alpha, self._alpha_key(bucket, method)),
+                (self._global, method),
+            ):
+                cell = table.get(key)
+                if cell is None:
+                    cell = table[key] = _Ewma()
+                cell.update(cost, decay)
+            self._bucket_counts[bucket] = self._bucket_counts.get(bucket, 0) + 1
+
+    def estimate(self, bucket: FeatureBucket, method: str) -> float | None:
+        """Best-resolution cost estimate, or ``None`` while the method
+        is entirely unobserved (the planner then explores it first)."""
+        with self._lock:
+            cell = (
+                self._bucket.get((bucket, method))
+                or self._alpha.get(self._alpha_key(bucket, method))
+                or self._global.get(method)
+            )
+            return cell.value if cell is not None else None
+
+    def observations(self, bucket: FeatureBucket) -> int:
+        """Total observations recorded against ``bucket`` across all
+        methods (drives the planner's decaying exploration rate)."""
+        with self._lock:
+            return self._bucket_counts.get(bucket, 0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of every level (for logs and benchmarks)."""
+        with self._lock:
+            return {
+                "global": {m: (c.value, c.count) for m, c in self._global.items()},
+                "alpha": {
+                    f"a{a}:{m}": (c.value, c.count)
+                    for (a, m), c in sorted(self._alpha.items())
+                },
+                "buckets": {
+                    f"{b}:{m}": (c.value, c.count)
+                    for (b, m), c in sorted(self._bucket.items())
+                },
+            }

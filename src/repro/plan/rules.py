@@ -1,0 +1,98 @@
+"""Static method-routing rules (the planner's rule layer).
+
+Two kinds of request resolve without consulting any cost model:
+
+- **endpoint degeneration** — at ``alpha == 0`` an SSRQ is a pure
+  spatial query and at ``alpha == 1`` a pure social one, so the
+  requested method *must* be replaced by the one whose candidate stream
+  is complete there (the routing the engine has always applied; the
+  tables live here now so the planner, the engines, the service, and
+  the stream layer all consult one source);
+- **explicit methods** — a concrete method name passes through
+  :func:`route_method` unchanged away from the endpoints.
+
+``method="auto"`` (:data:`AUTO`) is the only request the adaptive
+planner (:mod:`repro.plan.planner`) decides: at the endpoints it takes
+the same static route as everything else, in the interior it picks by
+estimated cost.
+
+This module is import-light on purpose (no :mod:`repro.core` imports):
+``repro.core.engine`` re-exports :func:`route_method` from here, so the
+rule tables cannot create an import cycle.
+"""
+
+from __future__ import annotations
+
+#: the sentinel method name resolved per query by the adaptive planner
+AUTO = "auto"
+
+#: at ``alpha == 0`` the social term is gated off: social-first
+#: variants route to the spatial-first searcher over the same distance
+#: module (CH-backed stays CH-backed)
+ALPHA0_ROUTE = {
+    "sfa": "spa",
+    "tsa": "spa",
+    "tsa-plain": "spa",
+    "tsa-qc": "spa",
+    "sfa-ch": "spa-ch",
+    "tsa-ch": "spa-ch",
+    "ais-cache": "spa",
+}
+
+#: at ``alpha == 1`` the spatial index is useless *and insufficient*:
+#: users without a location are legitimate pure-social answers but are
+#: absent from the grid/aggregate index, so every index-based method
+#: routes to SFA (whose Dijkstra stream reaches them all)
+ALPHA1_ROUTE = {
+    "spa": "sfa",
+    "tsa": "sfa",
+    "tsa-plain": "sfa",
+    "tsa-qc": "sfa",
+    "spa-ch": "sfa-ch",
+    "tsa-ch": "sfa-ch",
+    "ais": "sfa",
+    "ais-minus": "sfa",
+    "ais-bid": "sfa",
+    "ais-nosummary": "sfa",
+    "ais-cache": "sfa",
+}
+
+
+def route_method(method: str, alpha: float) -> str:
+    """The concrete method actually dispatched at preference ``alpha``.
+
+    At the endpoints the requested method degenerates: ``alpha == 0``
+    is a pure spatial query (social-first variants route to SPA) and
+    ``alpha == 1`` a pure social one (index-based variants route to
+    SFA, whose Dijkstra stream also reaches users without a location).
+    Every dispatch path — ``GeoSocialEngine.query``, the sharded
+    engine, the service layer's cache keys, and the stream layer's
+    subscriptions — applies this same routing, so behavior at the
+    endpoints is identical everywhere.
+
+        >>> from repro.plan import route_method
+        >>> route_method("tsa", 0.0), route_method("ais", 1.0)
+        ('spa', 'sfa')
+        >>> route_method("tsa", 0.3)
+        'tsa'
+    """
+    if alpha == 0.0:
+        return ALPHA0_ROUTE.get(method, method)
+    if alpha == 1.0:
+        return ALPHA1_ROUTE.get(method, method)
+    return method
+
+
+def static_choice(alpha: float) -> str | None:
+    """The forced ``auto`` resolution at the preference endpoints, or
+    ``None`` in the interior (where the cost model decides).
+
+        >>> from repro.plan.rules import static_choice
+        >>> static_choice(0.0), static_choice(1.0), static_choice(0.5)
+        ('spa', 'sfa', None)
+    """
+    if alpha == 0.0:
+        return "spa"
+    if alpha == 1.0:
+        return "sfa"
+    return None

@@ -425,7 +425,10 @@ class ResultCache:
                 + [Neighbor(user, new_score, moved.social, d)],
                 key=lambda nb: (nb.score, nb.user),
             )
-        new_result = SSRQResult(result.query_user, result.k, result.alpha, repaired, result.stats)
+        new_result = SSRQResult(
+            result.query_user, result.k, result.alpha, repaired, result.stats,
+            method=result.method,
+        )
         self._drop_from_indexes(key, result)
         self._entries[key] = new_result  # in place: LRU position kept
         self._index(key, new_result)

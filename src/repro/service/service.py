@@ -41,7 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Iterator
 
-from repro.core.engine import GeoSocialEngine
+from repro.core.engine import AUTO, GeoSocialEngine, resolve_dispatch
 from repro.core.result import SSRQResult
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.model import QueryRequest, QueryResponse, ServiceStats
@@ -186,25 +186,56 @@ class QueryService:
 
     # -- serving -------------------------------------------------------
 
-    def _cache_key(self, request: QueryRequest, engine: GeoSocialEngine) -> CacheKey:
+    def _cache_key(
+        self, request: QueryRequest, engine: GeoSocialEngine, resolved: str
+    ) -> CacheKey:
+        """The cache line for one request, keyed on the **resolved**
+        method (endpoint routing applied; ``auto`` pinned to the
+        planner's concrete pick).  Repair-awareness and the screening
+        bounds therefore always classify the method that actually
+        produced the stored result — and endpoint aliases (``tsa`` at
+        ``alpha == 0`` and ``spa``, …) share one line."""
         norm = engine.normalization
         return (
             request.user,
             request.k,
             request.alpha,
-            request.method,
+            resolved,
             request.t,
             (norm.p_max, norm.d_max),
         )
 
+    def _resolve(self, request: QueryRequest, engine: GeoSocialEngine):
+        """``(resolved_method, decision, planner)`` for one request —
+        the planner is consulted (and later fed the measured latency)
+        only for ``method="auto"``."""
+        resolved, decision = resolve_dispatch(
+            engine, request.user, request.k, request.alpha, request.method, request.t
+        )
+        return resolved, decision, engine.planner if decision is not None else None
+
+    def _precalibrate_planner(self) -> None:
+        """One-time planner calibration for ``auto`` traffic, run
+        *before* this thread takes the engine's read lock: each probe
+        acquires the read side itself, so a pending update stalls for
+        one probe query, not the whole ~32-probe pass (the engine lock
+        is writer-preferring — calibrating under a held read lock would
+        stall every other reader behind a queued writer)."""
+        engine = self.engine
+        planner = engine.planner
+        if not planner.calibrated:
+            planner.calibrate(engine, read_lock=engine.rw_lock.read_locked)
+
     @staticmethod
-    def _execute(request: QueryRequest, engine: GeoSocialEngine) -> tuple[SSRQResult, float]:
+    def _execute(
+        request: QueryRequest, engine: GeoSocialEngine, resolved: str
+    ) -> tuple[SSRQResult, float]:
         start = time.perf_counter()
         result = engine.query(
             request.user,
             k=request.k,
             alpha=request.alpha,
-            method=request.method,
+            method=resolved,
             t=request.t,
         )
         return result, time.perf_counter() - start
@@ -221,22 +252,27 @@ class QueryService:
         keyword defaults."""
         self._check_open()
         req = QueryRequest.coerce(request, k=k, alpha=alpha, method=method, t=t)
+        if req.method == AUTO:
+            self._precalibrate_planner()
         with self._read_locked_engine() as engine:
+            resolved, decision, planner = self._resolve(req, engine)
             if self.cache is not None:
-                key = self._cache_key(req, engine)
+                key = self._cache_key(req, engine, resolved)
                 hit = self.cache.get(key)
                 if hit is not None:
                     with self._stats_lock:
                         self.stats.requests += 1
                         self.stats.cache_hits += 1
                     return QueryResponse(req, hit, cached=True)
-            result, elapsed = self._execute(req, engine)
+            result, elapsed = self._execute(req, engine, resolved)
+            if planner is not None:
+                planner.observe(decision, elapsed)
             if self.cache is not None:
                 self.cache.put(key, result)
         with self._stats_lock:
             self.stats.requests += 1
             self.stats.cache_misses += 1
-            self.stats.record_execution(req.method, result, elapsed)
+            self.stats.record_execution(resolved, result, elapsed)
         return QueryResponse(req, result, latency=elapsed)
 
     def query_many(
@@ -263,12 +299,26 @@ class QueryService:
         ]
         responses: list[QueryResponse | None] = [None] * len(reqs)
         hits = 0
+        if any(req.method == AUTO for req in reqs):
+            self._precalibrate_planner()
         with self._read_locked_engine() as engine:
+            # 0. one method resolution per *distinct* request, memoized
+            #    so identical auto requests resolve identically inside
+            #    the batch (dedup keeps collapsing them even while the
+            #    planner explores between batches).
+            resolutions: dict[QueryRequest, tuple] = {}
+
+            def resolve(req: QueryRequest) -> tuple:
+                entry = resolutions.get(req)
+                if entry is None:
+                    entry = resolutions[req] = self._resolve(req, engine)
+                return entry
+
             # 1. cache pass + dedup: map each distinct key to the request
             #    indexes waiting on it.
             pending: "dict[CacheKey, list[int]]" = {}
             for i, req in enumerate(reqs):
-                key = self._cache_key(req, engine)
+                key = self._cache_key(req, engine, resolve(req)[0])
                 if self.cache is not None:
                     hit = self.cache.get(key)
                     if hit is not None:
@@ -285,15 +335,18 @@ class QueryService:
             if len(work) > 1 and self.max_workers > 1:
                 executed = list(
                     self._executor().map(
-                        lambda req: self._execute(req, engine),
-                        [req for _, req in work],
+                        lambda item: self._execute(item[1], engine, resolve(item[1])[0]),
+                        work,
                     )
                 )
             else:
-                executed = [self._execute(req, engine) for _, req in work]
+                executed = [self._execute(req, engine, resolve(req)[0]) for _, req in work]
 
             # 3. fan results back out in request order.
             for (key, req), (result, elapsed) in zip(work, executed):
+                resolved, decision, planner = resolve(req)
+                if planner is not None:
+                    planner.observe(decision, elapsed)
                 if self.cache is not None:
                     self.cache.put(key if self.batch_dedup else key[:-1], result)
                 indexes = pending[key]
@@ -301,7 +354,7 @@ class QueryService:
                 for j in indexes[1:]:
                     responses[j] = QueryResponse(reqs[j], result, deduplicated=True)
                 with self._stats_lock:
-                    self.stats.record_execution(req.method, result, elapsed)
+                    self.stats.record_execution(resolved, result, elapsed)
                     self.stats.deduplicated += len(indexes) - 1
 
         with self._stats_lock:

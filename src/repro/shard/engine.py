@@ -57,10 +57,11 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.backend import Kernels, resolve_backend
 from repro.core.engine import (
-    METHODS,
+    AUTO,
     GeoSocialEngine,
     _close_cached_services,
     _service_backed_query_many,
+    resolve_dispatch,
     route_method,
 )
 from repro.core.ranking import Normalization, RankingFunction
@@ -76,6 +77,7 @@ from repro.utils.concurrency import ReadWriteLock, TaskPool
 from repro.utils.validation import check_alpha, check_user
 
 if TYPE_CHECKING:
+    from repro.plan.planner import AdaptivePlanner
     from repro.service.model import QueryRequest
 
 INF = math.inf
@@ -197,6 +199,7 @@ class ShardedGeoSocialEngine:
         default_t: int = 500,
         landmarks: LandmarkIndex | None = None,
         backend: "str | Kernels" = "auto",
+        planner: "AdaptivePlanner | None" = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -255,6 +258,11 @@ class ShardedGeoSocialEngine:
         #: guarded by one shared build lock installed on every shard
         self._neighbor_caches: dict = {}
         self._build_lock = threading.RLock()
+        #: the method="auto" resolver — one per *sharded* engine, so a
+        #: query is resolved exactly once and every shard searches the
+        #: same concrete method (scatter-gather merges identical-method
+        #: partials); carried across with_graph rebuilds
+        self._planner: "AdaptivePlanner | None" = planner
         #: located user -> owning shard id
         self._owner: dict[int, int] = {}
         #: shard id -> member-filtered engine (built lazily for shards
@@ -355,6 +363,31 @@ class ShardedGeoSocialEngine:
         table make any of them equivalent)."""
         return self._engines[min(self._engines)]
 
+    @property
+    def planner(self) -> "AdaptivePlanner":
+        """The ``method="auto"`` resolver (one per sharded engine; see
+        :attr:`GeoSocialEngine.planner`)."""
+        if self._planner is None:
+            from repro.plan.planner import AdaptivePlanner
+
+            with self._build_lock:
+                if self._planner is None:
+                    self._planner = AdaptivePlanner(seed=self.seed)
+        return self._planner
+
+    @planner.setter
+    def planner(self, planner: "AdaptivePlanner") -> None:
+        self._planner = planner
+
+    def resolve_method(
+        self, user: int, k: int = 30, alpha: float = 0.3, method: str = AUTO, t: int | None = None
+    ) -> str:
+        """The concrete method one query dispatches to (same contract
+        as :meth:`GeoSocialEngine.resolve_method`): resolved **once**
+        here at the coordinator, then propagated to every shard, so
+        scatter-gather always merges identical-method partials."""
+        return resolve_dispatch(self, user, k, alpha, method, t)[0]
+
     def query(
         self,
         user: int,
@@ -364,18 +397,25 @@ class ShardedGeoSocialEngine:
         t: int | None = None,
     ) -> SSRQResult:
         """Answer one SSRQ with rankings bit-identical to
-        :meth:`GeoSocialEngine.query` on the same data."""
+        :meth:`GeoSocialEngine.query` on the same data.
+
+        ``method="auto"`` is resolved exactly once here (one planner
+        decision per query, fed back with the whole scatter-gather wall
+        time), and the concrete resolution is what every searched shard
+        executes."""
         check_user(user, self.graph.n)
         check_alpha(alpha)
-        if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-        routed = route_method(method, alpha)
+        routed, decision = resolve_dispatch(self, user, k, alpha, method, t)
         if routed in DELEGATED_METHODS:
             result = self._delegate_engine().query(user, k, alpha, routed, t=t)
             with self._scatter_lock:
                 self.scatter.delegated_queries += 1
-            return result
-        return self._scatter_query(user, k, alpha, routed, t)
+        else:
+            result = self._scatter_query(user, k, alpha, routed, t)
+        result.method = routed
+        if decision is not None:
+            self.planner.observe(decision, result.stats.elapsed)
+        return result
 
     def _scatter_plan(
         self, user: int, alpha: float, method: str
@@ -598,6 +638,8 @@ class ShardedGeoSocialEngine:
             default_t=self.default_t,
             # resolved Kernels instance (see GeoSocialEngine.with_graph)
             backend=self.kernels,
+            # live planner: learned costs keep steering method="auto"
+            planner=self._planner,
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)

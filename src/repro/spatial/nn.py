@@ -48,7 +48,7 @@ class IncrementalNearestNeighbors:
         distances.
     """
 
-    __slots__ = ("grid", "locations", "x", "y", "exclude", "heap", "_ring", "_max_ring", "_exhausted", "count", "_kernels", "_xs", "_ys")
+    __slots__ = ("grid", "locations", "x", "y", "exclude", "heap", "_ring", "_max_ring", "_exhausted", "count", "cells_opened", "_kernels", "_xs", "_ys")
 
     def __init__(
         self,
@@ -78,6 +78,8 @@ class IncrementalNearestNeighbors:
         self._exhausted = False
         #: number of users reported so far
         self.count = 0
+        #: number of grid cells popped and expanded so far
+        self.cells_opened = 0
         self._push_ring(center, 0)
 
     def _push_ring(self, center: tuple[int, int], radius: int) -> None:
@@ -107,6 +109,7 @@ class IncrementalNearestNeighbors:
                 return None
             key, kind, payload = self.heap.pop()
             if kind == _CELL:
+                self.cells_opened += 1
                 ix, iy = payload
                 ids = self.grid.ids_in(ix, iy)
                 distances = self._kernels.euclidean_to_point(

@@ -50,7 +50,7 @@ import math
 import threading
 from typing import TYPE_CHECKING, Iterator
 
-from repro.core.engine import METHODS, route_method
+from repro.core.engine import AUTO, METHODS
 from repro.core.ranking import RankingFunction
 from repro.core.result import SSRQResult, TopKBuffer
 from repro.core.stats import SearchStats
@@ -214,20 +214,34 @@ class SubscriptionRegistry:
         yields a *suspended* subscription — exactly the queries a fresh
         ``engine.query`` would reject — that resumes automatically once
         the user reports a location.
+
+        ``method="auto"`` is resolved **once**, here, through the
+        engine's adaptive planner: the subscription stores the concrete
+        resolution, every maintenance recompute re-runs that same
+        method, and repairability is classified off it (the planner's
+        default candidates are forward-deterministic, so auto
+        subscriptions repair in place).
         """
         self._check_open()
         request = QueryRequest.coerce(user, k=k, alpha=alpha, method=method, t=t)
         # Validate everything *before* registering, so a bad request
         # cannot leave a half-registered subscription behind (coerce
         # checks k/alpha; user and method are engine-level checks).
-        if request.method not in METHODS:
+        if request.method != AUTO and request.method not in METHODS:
             raise ValueError(
                 f"unknown method {request.method!r}; choose from {METHODS}"
             )
-        routed = route_method(request.method, request.alpha)
+        if request.method == AUTO:
+            # One-time planner calibration *before* taking the read
+            # lock (each probe acquires the read side itself, so a
+            # pending update never queues behind the whole pass).
+            self.service._precalibrate_planner()
         engine = self._read_locked_engine()
         try:
             check_user(request.user, engine.graph.n)
+            routed = engine.resolve_method(
+                request.user, request.k, request.alpha, request.method, request.t
+            )
             rank = RankingFunction(request.alpha, engine.normalization)
             sub = Subscription(
                 request.user, request.k, request.alpha, routed, request.t, rank
@@ -480,7 +494,10 @@ class SubscriptionRegistry:
         stats.extra["maintained"] = "repair"
         stats.extra["deltas_applied"] = len(ids)
         self._install_result_locked(
-            sub, SSRQResult(sub.user, sub.k, sub.alpha, buffer.neighbors(), stats)
+            sub,
+            SSRQResult(
+                sub.user, sub.k, sub.alpha, buffer.neighbors(), stats, method=sub.method
+            ),
         )
         sub.repairs += 1
         self.stats.repairs_applied += 1

@@ -159,3 +159,54 @@ class TestFigureDrivers:
 
         tables = fig12(SMOKE)
         assert tables[0].column("s") == list(SMOKE.s_values)
+
+
+class TestArtifacts:
+    """BENCH_<name>.json emission (the cross-PR perf trajectory)."""
+
+    def test_write_bench_json_envelope(self, tmp_path):
+        from repro.bench.artifacts import write_bench_json
+        import json
+
+        path = write_bench_json("unit", {"speedup": 3.5, "points": [1, 2]}, tmp_path)
+        assert path.name == "BENCH_unit.json"
+        data = json.loads(path.read_text())
+        assert data["bench"] == "unit"
+        assert data["profile"] in {"smoke", "quick", "full"}
+        assert data["speedup"] == 3.5 and data["points"] == [1, 2]
+        assert "generated_unix" in data and "python" in data
+
+    def test_directory_env_override(self, tmp_path, monkeypatch):
+        from repro.bench.artifacts import bench_json_path, write_bench_json
+
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(tmp_path / "nested"))
+        path = write_bench_json("env", {})
+        assert path == bench_json_path("env")
+        assert path.parent == tmp_path / "nested" and path.exists()
+
+    def test_tables_payload_roundtrips_rows(self):
+        from repro.bench.artifacts import tables_payload
+
+        table = ExperimentTable("exp", "title", ["A", "B"])
+        table.add_row([1, 2.5])
+        payload = tables_payload([table])
+        assert payload["tables"][0]["rows"] == [[1, 2.5]]
+        assert payload["tables"][0]["headers"] == ["A", "B"]
+
+    def test_planner_regret_bench_importable_and_builds_workload(self):
+        """The regret bench's workload generator: degree-skewed Zipf
+        draws, mixed k/alpha, deterministic under the profile seed."""
+        import importlib
+
+        module = importlib.import_module("benchmarks.bench_planner_regret")
+        from repro.core.engine import GeoSocialEngine
+        from repro.datasets.synthetic import gowalla_like
+
+        engine = GeoSocialEngine.from_dataset(gowalla_like(n=300, seed=9))
+        a = module.build_workload(engine, SMOKE, count=30)
+        b = module.build_workload(engine, SMOKE, count=30)
+        assert a == b and len(a) == 30
+        assert {k for _, k, _ in a} <= set(module.K_CHOICES)
+        assert {alpha for _, _, alpha in a} <= set(module.ALPHA_CHOICES)
+        users = {u for u, _, _ in a}
+        assert all(engine.locations.has_location(u) for u in users)

@@ -37,6 +37,7 @@ DOCUMENTED_MODULES = [
     "repro.backend.base",
     "repro.backend.numpy_backend",
     "repro.core.engine",
+    "repro.core.searcher",
     "repro.core.sfa",
     "repro.core.spa",
     "repro.core.tsa",
@@ -51,6 +52,10 @@ DOCUMENTED_MODULES = [
     "repro.spatial.point",
     "repro.index.aggregate",
     "repro.datasets.synthetic",
+    "repro.plan.rules",
+    "repro.plan.features",
+    "repro.plan.cost",
+    "repro.plan.planner",
     "repro.service.model",
     "repro.service.cache",
     "repro.service.service",

@@ -1,0 +1,304 @@
+"""Unit tests for the adaptive planner stack: static rules, feature
+extraction and bucketing, the cost model's coarse-to-fine fallback,
+epsilon-greedy resolution with calibration, the unified ``Searcher``
+execution-stats contract, and planner persistence across engine
+rebuilds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AUTO, METHODS, FORWARD_DETERMINISTIC_METHODS, GeoSocialEngine
+from repro.core.searcher import Searcher
+from repro.plan import (
+    DEFAULT_CANDIDATES,
+    AdaptivePlanner,
+    CostModel,
+    QueryFeatures,
+    extract_features,
+    route_method,
+    static_choice,
+)
+from repro.plan.features import local_cell_density
+from repro.service import QueryRequest, QueryService
+from repro.shard import ShardedGeoSocialEngine
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph, locations = random_instance(250, seed=11, coverage=0.8)
+    return GeoSocialEngine(graph, locations, num_landmarks=3, s=4, seed=5)
+
+
+# -- rules -------------------------------------------------------------
+
+
+class TestRules:
+    def test_route_method_matches_legacy_tables(self):
+        for method in METHODS:
+            assert route_method(method, 0.4) == method
+        assert route_method("tsa", 0.0) == "spa"
+        assert route_method("tsa-ch", 0.0) == "spa-ch"
+        assert route_method("ais", 1.0) == "sfa"
+        assert route_method("spa-ch", 1.0) == "sfa-ch"
+        assert route_method("bruteforce", 0.0) == "bruteforce"
+        assert route_method("bruteforce", 1.0) == "bruteforce"
+
+    def test_engine_reexports_route_method(self):
+        from repro.core.engine import route_method as engine_route
+
+        assert engine_route is route_method
+
+    def test_static_choice_endpoints_only(self):
+        assert static_choice(0.0) == "spa"
+        assert static_choice(1.0) == "sfa"
+        assert static_choice(0.5) is None
+        assert static_choice(1e-9) is None
+
+    def test_default_candidates_are_forward_deterministic(self):
+        """The default auto candidate set must stay inside the
+        forward-deterministic families: that is what makes auto results
+        bit-identical to bruteforce and auto subscriptions repairable."""
+        assert set(DEFAULT_CANDIDATES) <= FORWARD_DETERMINISTIC_METHODS
+        assert set(DEFAULT_CANDIDATES) <= set(METHODS)
+
+
+# -- features ----------------------------------------------------------
+
+
+class TestFeatures:
+    def test_bucket_is_small_and_stable(self):
+        f = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
+        assert f.bucket() == (2, 1, 3, 1)
+        assert QueryFeatures(k=1, alpha=0.01, degree=0, cell_density=0.0).bucket() == (
+            0,
+            0,
+            0,
+            0,
+        )
+        # buckets saturate instead of growing unboundedly
+        huge = QueryFeatures(k=10**6, alpha=0.99, degree=10**9, cell_density=1e9)
+        assert huge.bucket() == (3, 3, 6, 3)
+
+    def test_extract_features_single_engine(self, engine):
+        user = next(iter(engine.locations.located_users()))
+        f = extract_features(engine, user, 10, 0.3)
+        assert f.k == 10 and f.alpha == 0.3
+        assert f.degree == engine.graph.degree(user)
+        assert f.cell_density > 0.0
+
+    def test_extract_features_unlocated_user_is_safe(self, engine):
+        unlocated = [
+            u for u in range(engine.graph.n) if not engine.locations.has_location(u)
+        ]
+        assert unlocated, "fixture should have partial coverage"
+        f = extract_features(engine, unlocated[0], 10, 0.3)
+        assert f.cell_density == 0.0
+
+    def test_cell_density_sharded_probes_owning_shard(self):
+        graph, locations = random_instance(200, seed=3, coverage=0.9)
+        sharded = ShardedGeoSocialEngine(
+            graph, locations, n_shards=4, num_landmarks=3, s=4, seed=5, max_workers=1
+        )
+        single = GeoSocialEngine(graph, locations, num_landmarks=3, s=4, seed=5)
+        user = next(iter(locations.located_users()))
+        assert local_cell_density(sharded, user) > 0.0
+        assert local_cell_density(single, user) > 0.0
+
+
+# -- cost model --------------------------------------------------------
+
+
+class TestCostModel:
+    def test_coarse_to_fine_fallback(self):
+        model = CostModel()
+        seen = (1, 2, 3, 0)
+        model.observe(seen, "spa", 0.2)
+        # exact bucket
+        assert model.estimate(seen, "spa") == pytest.approx(0.2)
+        # same alpha bucket, different everything else -> alpha marginal
+        assert model.estimate((0, 2, 0, 3), "spa") == pytest.approx(0.2)
+        # different alpha bucket -> global
+        assert model.estimate((0, 0, 0, 0), "spa") == pytest.approx(0.2)
+        # untouched method -> None (planner explores it)
+        assert model.estimate(seen, "tsa") is None
+
+    def test_ewma_moves_toward_new_costs(self):
+        model = CostModel(decay=0.5)
+        b = (0, 1, 0, 0)
+        model.observe(b, "sfa", 1.0)
+        model.observe(b, "sfa", 0.0)
+        assert model.estimate(b, "sfa") == pytest.approx(0.5)
+        assert model.observations(b) == 2
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            CostModel(decay=0.0)
+        with pytest.raises(ValueError):
+            CostModel(decay=1.5)
+
+
+# -- planner -----------------------------------------------------------
+
+
+class TestPlanner:
+    def test_explicit_methods_pass_through(self, engine):
+        planner = AdaptivePlanner(calibrate=False)
+        decision = planner.resolve(engine, 0, 10, 0.3, "tsa")
+        assert decision.method == "tsa" and not decision.auto
+        decision = planner.resolve(engine, 0, 10, 0.0, "tsa")
+        assert decision.method == "spa" and not decision.auto
+
+    def test_static_endpoint_resolutions(self, engine):
+        planner = AdaptivePlanner(calibrate=False)
+        assert planner.resolve(engine, 0, 10, 0.0, AUTO).method == "spa"
+        assert planner.resolve(engine, 0, 10, 1.0, AUTO).method == "sfa"
+        assert planner.stats.static_routes == 2
+
+    def test_greedy_picks_cheapest_learned_method(self, engine):
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        bucket = extract_features(engine, user, 10, 0.5).bucket()
+        for method, cost in (("sfa", 0.9), ("spa", 0.1), ("tsa", 0.5), ("tsa-qc", 0.7)):
+            planner.cost.observe(bucket, method, cost)
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+        assert decision.method == "spa" and decision.auto and not decision.explored
+        assert decision.bucket == bucket
+
+    def test_unexplored_candidates_go_first(self, engine):
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        resolved = set()
+        for _ in range(len(DEFAULT_CANDIDATES)):
+            decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+            assert decision.explored
+            resolved.add(decision.method)
+            planner.observe(decision, 0.5)
+        assert resolved == set(DEFAULT_CANDIDATES)
+
+    def test_observe_ignores_static_and_explicit(self, engine):
+        planner = AdaptivePlanner(calibrate=False)
+        planner.observe(planner.resolve(engine, 0, 10, 0.0, AUTO), 1.0)
+        planner.observe(planner.resolve(engine, 0, 10, 0.3, "tsa"), 1.0)
+        assert planner.stats.observations == 0
+
+    def test_calibration_seeds_every_candidate(self, engine):
+        planner = AdaptivePlanner(seed=1)
+        executed = planner.calibrate(engine)
+        assert executed > 0
+        assert planner.calibrate(engine) == 0  # idempotent
+        snapshot = planner.cost.snapshot()
+        assert set(snapshot["global"]) == set(DEFAULT_CANDIDATES)
+        # every interior alpha bucket has every candidate seeded
+        alphas = {key.split(":")[0] for key in snapshot["alpha"]}
+        assert alphas == {"a0", "a1", "a2", "a3"}
+
+    def test_auto_query_feeds_feedback_loop(self, engine):
+        engine.planner = AdaptivePlanner(seed=2)
+        before = engine.planner.stats.observations
+        result = engine.query(1, k=5, alpha=0.5, method=AUTO)
+        assert result.method in DEFAULT_CANDIDATES
+        assert engine.planner.stats.observations == before + 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptivePlanner(candidates=())
+        with pytest.raises(ValueError):
+            AdaptivePlanner(epsilon=1.5)
+
+    def test_exploration_rate_decays_with_evidence(self, engine):
+        """After many observations in a bucket, exploration is rare:
+        the effective rate is epsilon / sqrt(1 + observations)."""
+        planner = AdaptivePlanner(calibrate=False, epsilon=1.0, seed=0)
+        user = next(iter(engine.locations.located_users()))
+        bucket = extract_features(engine, user, 10, 0.5).bucket()
+        for method in DEFAULT_CANDIDATES:
+            planner.cost.observe(bucket, method, 0.5)
+        for _ in range(400):
+            planner.cost.observe(bucket, "spa", 0.1)
+        explored = sum(
+            planner.resolve(engine, user, 10, 0.5, AUTO).explored for _ in range(100)
+        )
+        assert explored < 30  # epsilon/sqrt(405) ~ 5% despite epsilon=1.0
+
+    def test_planner_survives_with_graph_rebuild(self, engine):
+        engine.planner = AdaptivePlanner(seed=3)
+        rebuilt = engine.with_graph(engine.graph)
+        assert rebuilt._planner is engine.planner
+
+    def test_service_rebuild_engine_keeps_learned_costs(self):
+        graph, locations = random_instance(120, seed=7, coverage=0.9)
+        engine = GeoSocialEngine(graph, locations, num_landmarks=3, s=4, seed=5)
+        service = QueryService(engine, cache_size=16)
+        try:
+            service.query(QueryRequest(user=0, k=5, alpha=0.5, method=AUTO))
+            planner = engine.planner
+            observed = planner.stats.observations
+            assert observed > 0
+            service.update_edge(0, 1, 0.7)
+            new_engine = service.rebuild_engine()
+            assert new_engine.planner is planner
+            service.query(QueryRequest(user=0, k=5, alpha=0.5, method=AUTO))
+            assert planner.stats.observations > observed
+        finally:
+            service.close()
+
+
+# -- the unified searcher contract ------------------------------------
+
+
+class TestSearcherContract:
+    def test_every_method_searcher_satisfies_protocol(self, engine):
+        for method in METHODS:
+            assert isinstance(engine.searcher(method, t=20), Searcher), method
+
+    @pytest.mark.parametrize("method", ["sfa", "spa", "tsa", "tsa-qc", "ais", "bruteforce"])
+    def test_execution_stats_populated(self, engine, method):
+        user = next(iter(engine.locations.located_users()))
+        result = engine.query(user, k=10, alpha=0.5, method=method)
+        stats = result.stats
+        assert stats.elapsed > 0.0
+        assert stats.candidates_scored > 0, method
+        assert stats.pops > 0, method
+        if method in ("spa", "tsa", "tsa-qc", "ais"):
+            assert stats.cells_opened > 0, method
+        assert result.method == method
+
+    def test_stats_merge_includes_new_counters(self):
+        from repro.core.stats import SearchStats
+
+        a = SearchStats(cells_opened=2, candidates_scored=5)
+        a.merge(SearchStats(cells_opened=1, candidates_scored=3))
+        assert (a.cells_opened, a.candidates_scored) == (3, 8)
+
+    def test_resolved_method_recorded_on_result(self, engine):
+        user = next(iter(engine.locations.located_users()))
+        assert engine.query(user, 5, 0.0, "tsa").method == "spa"
+        assert engine.query(user, 5, 1.0, "ais").method == "sfa"
+        auto = engine.query(user, 5, 0.5, AUTO)
+        assert auto.method in DEFAULT_CANDIDATES
+
+
+def test_unknown_method_still_rejected_everywhere(engine):
+    with pytest.raises(ValueError, match="unknown method"):
+        engine.query(0, 5, 0.3, "nope")
+    with pytest.raises(ValueError, match="unknown method"):
+        engine.resolve_method(0, 5, 0.3, "nope")
+
+
+def test_out_of_range_user_raises_value_error_through_auto(engine):
+    """auto resolution must surface the engine's ValueError contract
+    for bad user ids, never an IndexError from feature extraction —
+    through the engine, the resolver, and the cached service path."""
+    bad = engine.graph.n + 5
+    with pytest.raises(ValueError, match="out of range"):
+        engine.resolve_method(bad, 5, 0.5, AUTO)
+    with pytest.raises(ValueError, match="out of range"):
+        engine.query(bad, 5, 0.5, AUTO)
+    service = QueryService(engine, cache_size=8, max_workers=1)
+    try:
+        with pytest.raises(ValueError, match="out of range"):
+            service.query(QueryRequest(user=bad, k=5, alpha=0.5, method=AUTO))
+    finally:
+        service.close()

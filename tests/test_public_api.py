@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.topk",
     "repro.datasets",
     "repro.bench",
+    "repro.plan",
     "repro.service",
     "repro.shard",
     "repro.stream",
@@ -27,7 +28,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_all_exports_resolve():
