@@ -1,0 +1,131 @@
+"""Warm-start benchmark: mmap snapshot load vs cold engine rebuild.
+
+The store's performance claim: restart is O(read) instead of
+O(rebuild).  A cold start re-runs landmark selection and M Dijkstra
+sweeps over the social graph plus grid construction; a warm start
+memory-maps the persisted columns and rebuilds only the cheap derived
+state (CSR adoption, grid cells from arrays, aggregate summaries).
+This script times both at ``n ∈ {1e4, 1e5}``, checks the loaded
+engine answers a probe query identically, and asserts the acceptance
+gate: **warm load must be ≥ 5x faster than cold rebuild at n = 1e5**.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_store_warmstart.py
+
+Set ``REPRO_STORE_GATE=report`` to print without asserting (the
+report-only mode CI uses on noisy shared runners).  Results land in
+``BENCH_store.json`` — the tracked warm-start perf artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro import GeoSocialEngine, gowalla_like, load_engine
+
+SIZES = (10_000, 100_000)
+GATE_SIZE = 100_000
+GATE_SPEEDUP = 5.0
+NUM_LANDMARKS = 4
+SEED = 7
+
+
+def _probe(engine):
+    user = next(iter(engine.locations.located_users()))
+    return [(nb.user, nb.score) for nb in engine.query(user=user, k=10, alpha=0.3)]
+
+
+def bench_size(n: int, workdir: str) -> dict:
+    dataset = gowalla_like(n=n, seed=SEED)
+
+    start = time.perf_counter()
+    engine = GeoSocialEngine.from_dataset(dataset, num_landmarks=NUM_LANDMARKS, seed=2)
+    cold_s = time.perf_counter() - start
+
+    path = os.path.join(workdir, f"snap-{n}")
+    start = time.perf_counter()
+    engine.save(path)
+    save_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = load_engine(path, mmap=True, verify=False)
+    warm_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    verified = load_engine(path, mmap=True, verify=True)
+    warm_verified_s = time.perf_counter() - start
+
+    reference = _probe(engine)
+    assert _probe(warm) == reference, f"warm-started engine diverged at n={n}"
+    assert _probe(verified) == reference, f"verified load diverged at n={n}"
+
+    return {
+        "n": n,
+        "cold_build_s": cold_s,
+        "save_s": save_s,
+        "warm_load_s": warm_s,
+        "warm_load_verified_s": warm_verified_s,
+        "speedup": cold_s / max(warm_s, 1e-12),
+        "speedup_verified": cold_s / max(warm_verified_s, 1e-12),
+    }
+
+
+def main() -> None:
+    report_only = os.environ.get("REPRO_STORE_GATE", "").lower() == "report"
+    workdir = tempfile.mkdtemp(prefix="repro-store-bench-")
+    points = []
+    gate_speedup = None
+    print(
+        f"{'n':>8} {'cold build':>12} {'save':>10} {'warm load':>11} "
+        f"{'warm+verify':>12} {'speedup':>9}"
+    )
+    try:
+        for n in SIZES:
+            point = bench_size(n, workdir)
+            points.append(point)
+            print(
+                f"{n:>8} {point['cold_build_s']:>11.2f}s {point['save_s']:>9.2f}s "
+                f"{point['warm_load_s']:>10.3f}s {point['warm_load_verified_s']:>11.3f}s "
+                f"{point['speedup']:>8.1f}x"
+            )
+            if n == GATE_SIZE:
+                gate_speedup = point["speedup"]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    from repro.bench.artifacts import write_bench_json
+
+    print(
+        "wrote "
+        + str(
+            write_bench_json(
+                "store",
+                {
+                    "sizes": list(SIZES),
+                    "num_landmarks": NUM_LANDMARKS,
+                    "gate_size": GATE_SIZE,
+                    "gate_speedup_required": GATE_SPEEDUP,
+                    "gate_speedup_measured": gate_speedup,
+                    "points": points,
+                },
+            )
+        )
+    )
+
+    verdict = (
+        f"warm start at n={GATE_SIZE}: {gate_speedup:.1f}x faster than cold "
+        f"rebuild (gate: >= {GATE_SPEEDUP}x)"
+    )
+    if report_only:
+        print(f"[report-only] {verdict}")
+    else:
+        assert gate_speedup >= GATE_SPEEDUP, verdict
+        print(f"PASS {verdict}")
+
+
+if __name__ == "__main__":
+    main()

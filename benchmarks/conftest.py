@@ -56,14 +56,21 @@ def _bench_json_recorder(request):
 
 def pytest_sessionfinish(session, exitstatus):
     for name, points in _RECORDED.items():
-        write_bench_json(
-            name,
-            {
-                "source": "pytest-benchmark",
-                "queries_per_point": PROFILE.queries,
-                "points": points,
-            },
-        )
+        payload = {
+            "source": "pytest-benchmark",
+            "queries_per_point": PROFILE.queries,
+            "points": points,
+        }
+        try:
+            write_bench_json(name, payload)
+        except OSError:
+            # Read-only checkout (or unwritable REPRO_BENCH_JSON_DIR):
+            # the artifact is a convenience, not worth failing a
+            # benchmark session over — divert it to the tmp dir.
+            import tempfile
+
+            path = write_bench_json(name, payload, tempfile.gettempdir())
+            print(f"\nbench artifact dir unwritable; wrote {path} instead")
 
 
 def run_point(benchmark, engine, users, method, k, alpha, t=None):

@@ -54,10 +54,17 @@ from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
 from repro.shard.engine import ShardedGeoSocialEngine
 from repro.spatial.point import BBox, LocationTable
+from repro.store import (
+    SnapshotManager,
+    StoreCorruptionError,
+    StoreError,
+    load_engine,
+    save_engine,
+)
 from repro.stream.registry import SubscriptionRegistry
 from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -97,6 +104,12 @@ __all__ = [
     "ResultCache",
     # sharding layer
     "ShardedGeoSocialEngine",
+    # durable store (snapshots & warm-start)
+    "SnapshotManager",
+    "StoreError",
+    "StoreCorruptionError",
+    "save_engine",
+    "load_engine",
     # stream layer (continuous queries)
     "SubscriptionRegistry",
     "Subscription",

@@ -92,10 +92,35 @@ def resolve_backend(backend: "str | Kernels" = "auto") -> Kernels:
     return NumpyKernels() if name == "numpy" else PythonKernels()
 
 
+def resolve_stored_backend(name: str) -> Kernels:
+    """Resolve a backend name recorded in a snapshot manifest.
+
+    Same contract as :func:`resolve_backend` for a name that is
+    resolvable here, but *lenient* when the stored choice is not: a
+    snapshot written on a NumPy machine must still load on an
+    interpreter without it (both backends rank bit-identically, so the
+    fallback changes performance, never answers).  Unknown names are
+    still an error — they signal a corrupt or future-format manifest.
+    """
+    if name == "numpy" and not HAS_NUMPY:
+        import warnings
+
+        warnings.warn(
+            "snapshot was written with backend='numpy' but numpy is not "
+            "importable here; falling back to the scalar backend "
+            "(identical rankings, lower throughput)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return PythonKernels()
+    return resolve_backend(name)
+
+
 __all__ = [
     "Kernels",
     "PythonKernels",
     "resolve_backend",
+    "resolve_stored_backend",
     "available_backends",
     "HAS_NUMPY",
     "BACKEND_ENV_VAR",

@@ -190,6 +190,59 @@ class LandmarkIndex:
             )
         return clone
 
+    @classmethod
+    def from_tables(
+        cls,
+        graph: SocialGraph,
+        landmarks: Sequence[int],
+        matrix,
+        matrix_rev=None,
+    ) -> "LandmarkIndex":
+        """Adopt pre-computed distance tables (the restore path of
+        :mod:`repro.store`) — same shape contract as :meth:`copy` but
+        fed from disk instead of a live index.
+
+        Under NumPy, ``matrix`` (shape ``(m, n)``, possibly memory-
+        mapped copy-on-write) is adopted without copying and rows of
+        :attr:`dist` become views into it.  Without NumPy, pass
+        list-of-lists.  Directed graphs must supply ``matrix_rev``.
+        """
+        clone = object.__new__(cls)
+        clone.graph = graph
+        clone.landmarks = list(landmarks)
+        m = len(clone.landmarks)
+        if _np is not None:
+            if matrix.shape != (m, graph.n):
+                raise ValueError(
+                    f"landmark matrix shape {matrix.shape} != ({m}, {graph.n})"
+                )
+            clone._matrix = matrix
+            clone.dist = [matrix[j] for j in range(m)]
+            if graph.directed:
+                if matrix_rev is None:
+                    raise ValueError("directed graph needs matrix_rev")
+                if matrix_rev.shape != (m, graph.n):
+                    raise ValueError(
+                        f"reverse matrix shape {matrix_rev.shape} != ({m}, {graph.n})"
+                    )
+                clone._matrix_rev = matrix_rev
+                clone.dist_rev = [matrix_rev[j] for j in range(m)]
+            else:
+                clone._matrix_rev = clone._matrix
+                clone.dist_rev = clone.dist
+        else:  # pragma: no cover - exercised only off-CI
+            clone.dist = clone._adopt_rows([list(r) for r in matrix], "_matrix", graph.n)
+            if graph.directed:
+                if matrix_rev is None:
+                    raise ValueError("directed graph needs matrix_rev")
+                clone.dist_rev = clone._adopt_rows(
+                    [list(r) for r in matrix_rev], "_matrix_rev", graph.n
+                )
+            else:
+                clone.dist_rev = clone.dist
+                clone._matrix_rev = clone._matrix
+        return clone
+
     def vector(self, v: int) -> tuple[float, ...]:
         """Landmark distance vector of vertex ``v`` (``m_v*``)."""
         return tuple(row[v] for row in self.dist)

@@ -111,6 +111,49 @@ class SocialGraph:
         return cls(n, indptr, nbrs, wts, directed, _num_edges=len(best))
 
     @classmethod
+    def from_csr(
+        cls,
+        n: int,
+        indptr: Sequence[int],
+        nbrs: Sequence[int],
+        wts: Sequence[float],
+        directed: bool = False,
+        num_edges: int | None = None,
+    ) -> "SocialGraph":
+        """Re-adopt already-built CSR columns (the persistence path of
+        :mod:`repro.store`): no edge collapsing or re-sorting, just
+        structural validation of the three arrays.
+
+        Unlike :meth:`from_edges`, the input is trusted to be a valid
+        CSR image produced by this class — but since the columns may
+        come from disk, the cheap invariants (monotone ``indptr``,
+        neighbour ids in range, positive finite weights) are checked so
+        a corrupted file fails loudly instead of corrupting a search.
+
+            >>> from repro import SocialGraph
+            >>> g = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+            >>> clone = SocialGraph.from_csr(
+            ...     g.n, list(g.indptr), list(g.nbrs), list(g.wts))
+            >>> clone.num_edges, sorted(clone.neighbors(1))
+            (2, [(0, 1.0), (2, 2.0)])
+        """
+        indptr = list(indptr)
+        nbrs = list(nbrs)
+        wts = list(wts)
+        if len(indptr) != n + 1 or indptr[0] != 0 or indptr[n] != len(nbrs):
+            raise ValueError(
+                f"CSR indptr inconsistent: len={len(indptr)} (need {n + 1}), "
+                f"first={indptr[:1]}, last={indptr[-1:]} vs {len(nbrs)} entries"
+            )
+        if any(a > b for a, b in zip(indptr, indptr[1:])):
+            raise ValueError("CSR indptr must be non-decreasing")
+        if any(not 0 <= v < n for v in nbrs):
+            raise ValueError(f"CSR neighbour id out of range [0, {n})")
+        if any(w <= 0 or not math.isfinite(w) for w in wts):
+            raise ValueError("CSR edge weights must be positive and finite")
+        return cls(n, indptr, nbrs, wts, directed, _num_edges=num_edges)
+
+    @classmethod
     def from_adjacency(
         cls, adjacency: Sequence[dict[int, float]], directed: bool = False
     ) -> "SocialGraph":

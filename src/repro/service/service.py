@@ -476,8 +476,6 @@ class QueryService:
         """
         self._check_open()
         tables = self.dynamics
-        from repro.graph.dynamics import DynamicLandmarkTables
-
         old = self.engine
         while True:
             with old.rw_lock.write_locked():
@@ -491,23 +489,71 @@ class QueryService:
             with old.rw_lock.write_locked():
                 if tables.updates_applied != version:
                     continue  # an edge update interleaved: re-snapshot
-                if self.cache is not None:
-                    old.remove_location_listener(self._on_location_update)
-                    new_engine.add_location_listener(self._on_location_update)
-                    self.cache.invalidate_all()
-                self.engine = new_engine
-                with self._dynamics_lock:
-                    self._attach_dynamics_locked(
-                        DynamicLandmarkTables(
-                            new_engine.graph, new_engine.landmarks.copy()
-                        )
-                    )
+                self._swap_engine_locked(old, new_engine)
             # Outside the write lock (no service reader can still hold
             # the old engine once the swap is visible): release the old
             # engine's worker pools so periodic rebuilds don't leak
             # threads for the process lifetime.
             old.close()
             return new_engine
+
+    def _swap_engine_locked(self, old: GeoSocialEngine, new_engine: GeoSocialEngine) -> None:
+        """Make ``new_engine`` the served engine (caller holds ``old``'s
+        exclusive lock): re-home the invalidation listeners, flush the
+        cache, publish the engine, and re-anchor the dynamics companion
+        (when one exists) on the new graph.  Downstream swap detection —
+        the stream layer's ``_ensure_current_engine`` identity check —
+        needs nothing more than the ``self.engine`` assignment."""
+        if self.cache is not None:
+            old.remove_location_listener(self._on_location_update)
+            new_engine.add_location_listener(self._on_location_update)
+            self.cache.invalidate_all()
+        self.engine = new_engine
+        with self._dynamics_lock:
+            if self._dynamics is not None:
+                from repro.graph.dynamics import DynamicLandmarkTables
+
+                self._attach_dynamics_locked(
+                    DynamicLandmarkTables(new_engine.graph, new_engine.landmarks.copy())
+                )
+
+    def replace_engine(self, new_engine: GeoSocialEngine) -> GeoSocialEngine:
+        """Swap in an externally built engine — the restore path of
+        :class:`~repro.store.SnapshotManager` — through the same
+        cache-flush / listener / dynamics re-anchor sequence as
+        :meth:`rebuild_engine`, so every downstream layer (result cache,
+        update stream, standing subscriptions) observes the swap
+        identically.  Edge updates batched against the old engine are
+        discarded with it: a restore rewinds to the snapshot's topology.
+        The old engine's pools are released; returns the new engine."""
+        self._check_open()
+        if new_engine.graph.n != self.engine.graph.n:
+            raise ValueError(
+                f"replacement engine covers {new_engine.graph.n} users, "
+                f"the served one {self.engine.graph.n}"
+            )
+        old = self.engine
+        with old.rw_lock.write_locked():
+            self._swap_engine_locked(old, new_engine)
+        old.close()
+        return new_engine
+
+    @property
+    def pending_edge_updates(self) -> int:
+        """Edge updates applied through :meth:`update_edge` since the
+        last :meth:`rebuild_engine` (0 with no dynamics companion) —
+        what :class:`~repro.store.SnapshotManager` consults to decide
+        whether a snapshot must fold the update stream first."""
+        tables = self._dynamics
+        return tables.updates_applied if tables is not None else 0
+
+    def snapshots(self, root) -> "object":
+        """A :class:`~repro.store.SnapshotManager` rooted at ``root``
+        taking crash-consistent snapshots of (and restoring into) this
+        service."""
+        from repro.store import SnapshotManager
+
+        return SnapshotManager(self, root)
 
     # -- invalidation listeners (fire inside the update's write lock
     #    when driven through this service; the cache takes its own lock

@@ -200,6 +200,7 @@ class ShardedGeoSocialEngine:
         landmarks: LandmarkIndex | None = None,
         backend: "str | Kernels" = "auto",
         planner: "AdaptivePlanner | None" = None,
+        _shard_indexes: dict | None = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -263,6 +264,9 @@ class ShardedGeoSocialEngine:
         #: same concrete method (scatter-gather merges identical-method
         #: partials); carried across with_graph rebuilds
         self._planner: "AdaptivePlanner | None" = planner
+        #: restored per-shard indexes (``sid -> (grid, aggregate)``),
+        #: consumed by ``_build_shard`` on the snapshot warm-start path
+        self._restored_indexes: dict = _shard_indexes or {}
         #: located user -> owning shard id
         self._owner: dict[int, int] = {}
         #: shard id -> member-filtered engine (built lazily for shards
@@ -296,6 +300,19 @@ class ShardedGeoSocialEngine:
     # -- shard construction --------------------------------------------
 
     def _build_shard(self, sid: int, users: set[int]) -> GeoSocialEngine:
+        grid = aggregate = None
+        restored = self._restored_indexes.pop(sid, None)
+        if restored is not None:
+            grid, aggregate = restored
+            if set(grid._cell_of_user) != users:
+                # Ownership is always derivable (owner ==
+                # partitioner.shard_of(current location)); a restored
+                # index disagreeing with that computation means the
+                # snapshot's columns are mutually inconsistent.
+                raise ValueError(
+                    f"restored shard {sid} indexes {len(grid)} members, "
+                    f"the partitioner assigns {len(users)}"
+                )
         engine = GeoSocialEngine(
             self.graph,
             self.locations,
@@ -307,6 +324,8 @@ class ShardedGeoSocialEngine:
             landmarks=self.landmarks,
             index_users=users,
             backend=self.kernels,
+            grid=grid,
+            aggregate=aggregate,
         )
         # The t-nearest social lists depend only on the shared graph:
         # point every shard at one store so ais-cache scatter does not
@@ -643,6 +662,36 @@ class ShardedGeoSocialEngine:
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path) -> "Path":
+        """Write a crash-consistent columnar snapshot of the sharded
+        engine (global columns once, per-shard grid arrays, the fitted
+        partitioner in the manifest) under the shared read lock — same
+        protocol as :meth:`GeoSocialEngine.save`.  Returns the snapshot
+        directory."""
+        from repro.store import save_engine
+
+        with self.rw_lock.read_locked():
+            return save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "ShardedGeoSocialEngine":
+        """Warm-start a sharded engine from a snapshot directory written
+        by :meth:`save`: shared columns load once (memory-mapped with
+        ``mmap=True``), each shard adopts its persisted indexes, and the
+        partitioner is rebuilt exactly from the manifest so the
+        ownership invariant carries over bit-for-bit."""
+        from repro.store import load_engine
+
+        engine = load_engine(path, mmap=mmap, verify=verify)
+        if not isinstance(engine, cls):
+            raise TypeError(
+                f"snapshot at {path} holds a {type(engine).__name__}, "
+                f"not a {cls.__name__}; use that class's load()"
+            )
+        return engine
 
     # -- lifecycle -----------------------------------------------------
 

@@ -52,6 +52,23 @@ class Partitioner(ABC):
         """One-line human-readable summary."""
         return f"{type(self).__name__}(n_shards={self.n_shards})"
 
+    @abstractmethod
+    def to_config(self) -> dict:
+        """JSON-serialisable description from which :func:`from_config`
+        reconstructs an identical partitioner — identical ``shard_of``
+        on every point of the plane, which is what keeps a restored
+        sharded engine's ownership invariant intact."""
+
+    @staticmethod
+    def from_config(config: dict) -> "Partitioner":
+        """Inverse of :meth:`to_config` (dispatches on ``kind``)."""
+        kind = config.get("kind")
+        if kind == "grid":
+            return GridPartitioner._from_config(config)
+        if kind == "kd":
+            return KDTreePartitioner._from_config(config)
+        raise ValueError(f"unknown partitioner kind {kind!r} in config")
+
 
 class GridPartitioner(Partitioner):
     """Regular ``nx x ny`` tiling of a bounding box.
@@ -113,6 +130,19 @@ class GridPartitioner(Partitioner):
 
     def describe(self) -> str:
         return f"GridPartitioner({self.nx}x{self.ny} over {self.bbox!r})"
+
+    def to_config(self) -> dict:
+        return {
+            "kind": "grid",
+            "bbox": [self.bbox.minx, self.bbox.miny, self.bbox.maxx, self.bbox.maxy],
+            "nx": self.nx,
+            "ny": self.ny,
+        }
+
+    @classmethod
+    def _from_config(cls, config: dict) -> "GridPartitioner":
+        minx, miny, maxx, maxy = (float(v) for v in config["bbox"])
+        return cls(BBox(minx, miny, maxx, maxy), int(config["nx"]), int(config["ny"]))
 
 
 @dataclass(frozen=True)
@@ -237,6 +267,33 @@ class KDTreePartitioner(Partitioner):
 
     def describe(self) -> str:
         return f"KDTreePartitioner(n_shards={self._n_shards})"
+
+    def to_config(self) -> dict:
+        def encode(node):
+            if isinstance(node, _Split):
+                return {
+                    "axis": node.axis,
+                    "threshold": node.threshold,
+                    "left": encode(node.left),
+                    "right": encode(node.right),
+                }
+            return node  # leaf shard id
+
+        return {"kind": "kd", "n_shards": self._n_shards, "tree": encode(self._root)}
+
+    @classmethod
+    def _from_config(cls, config: dict) -> "KDTreePartitioner":
+        def decode(node):
+            if isinstance(node, dict):
+                return _Split(
+                    int(node["axis"]),
+                    float(node["threshold"]),
+                    decode(node["left"]),
+                    decode(node["right"]),
+                )
+            return int(node)
+
+        return cls(decode(config["tree"]), int(config["n_shards"]))
 
 
 def make_partitioner(

@@ -59,6 +59,19 @@ class MultiLevelGrid:
             grid.leaf_grid.insert(user, xs[user], ys[user])
         return grid
 
+    @classmethod
+    def from_grid(cls, leaf_grid: UniformGrid, s: int) -> "MultiLevelGrid":
+        """Adopt an already-populated leaf grid (the restore path of
+        :mod:`repro.store`).  The leaf resolution must be ``s * s``."""
+        if leaf_grid.nx != s * s or leaf_grid.ny != s * s:
+            raise ValueError(
+                f"leaf grid resolution {leaf_grid.nx}x{leaf_grid.ny} != {s * s}x{s * s}"
+            )
+        grid = object.__new__(cls)
+        grid.s = s
+        grid.leaf_grid = leaf_grid
+        return grid
+
     # -- addressing -----------------------------------------------------
 
     @property

@@ -185,6 +185,27 @@ class LocationTable:
         return cls(xs, ys, _trusted=True)
 
     @classmethod
+    def adopt_columns(cls, xs, ys) -> "LocationTable":
+        """Adopt two pre-built ``float64`` coordinate columns *without
+        copying* — the warm-start path of :mod:`repro.store`, where the
+        columns are memory-mapped (copy-on-write) ``.npy`` files and a
+        copy would defeat the point of mmap.
+
+        The caller guarantees dtype/contiguity (``np.load`` does);
+        only the shape agreement is checked here.  Falls back to
+        :meth:`from_columns` when NumPy is unavailable.
+        """
+        if _np is None:  # pragma: no cover - exercised only off-CI
+            return cls.from_columns(xs, ys)
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        table = object.__new__(cls)
+        table.xs = xs
+        table.ys = ys
+        table._n_located = int(_np.count_nonzero(~_np.isnan(xs)))
+        return table
+
+    @classmethod
     def empty(cls, n: int) -> "LocationTable":
         nan = math.nan
         return cls([nan] * n, [nan] * n, _trusted=True)

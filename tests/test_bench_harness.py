@@ -184,6 +184,39 @@ class TestArtifacts:
         assert path == bench_json_path("env")
         assert path.parent == tmp_path / "nested" and path.exists()
 
+    def test_missing_artifact_dir_is_created(self, tmp_path, monkeypatch):
+        """A fresh checkout pointing REPRO_BENCH_JSON_DIR at a
+        not-yet-existing path must get the directory created, not an
+        OSError at the end of a long benchmark run."""
+        from repro.bench.artifacts import write_bench_json
+
+        deep = tmp_path / "does" / "not" / "exist" / "yet"
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(deep))
+        path = write_bench_json("fresh", {"points": []})
+        assert path.exists() and path.parent == deep
+
+    def test_sessionfinish_survives_unwritable_artifact_dir(self, tmp_path, monkeypatch):
+        """A read-only checkout (or a bogus REPRO_BENCH_JSON_DIR) must
+        not fail the benchmark session: the harvest hook diverts the
+        artifact to the tmp dir instead."""
+        import importlib
+        import tempfile
+        from pathlib import Path
+
+        conftest = importlib.import_module("benchmarks.conftest")
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("not a directory")
+        # mkdir under a regular file raises OSError even for root
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(blocker / "sub"))
+        monkeypatch.setattr(
+            conftest, "_RECORDED", {"harness_fallback_probe": [{"test": "t"}]}
+        )
+        fallback = Path(tempfile.gettempdir()) / "BENCH_harness_fallback_probe.json"
+        fallback.unlink(missing_ok=True)
+        conftest.pytest_sessionfinish(session=None, exitstatus=0)
+        assert fallback.exists()
+        fallback.unlink()
+
     def test_tables_payload_roundtrips_rows(self):
         from repro.bench.artifacts import tables_payload
 

@@ -63,6 +63,10 @@ DOCUMENTED_MODULES = [
     "repro.shard.partitioner",
     "repro.shard.bounds",
     "repro.shard.parallel",
+    "repro.store",
+    "repro.store.format",
+    "repro.store.snapshot",
+    "repro.store.manager",
     "repro.stream",
     "repro.stream.conditions",
     "repro.stream.registry",

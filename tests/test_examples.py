@@ -36,6 +36,7 @@ def test_examples_exist():
         "service_quickstart.py",
         "sharded_quickstart.py",
         "stream_quickstart.py",
+        "store_quickstart.py",
     } <= present
 
 
@@ -80,3 +81,10 @@ def test_sharded_quickstart_runs():
     assert "identical to the single engine: True" in out
     assert "cached before move: True, after move: False" in out
     assert "cumulative scatter stats" in out
+
+
+def test_store_quickstart_runs():
+    out = run_example("store_quickstart.py")
+    assert "bit-identical answers after restart: True" in out
+    assert "restored engine serves the folded edge: True" in out
+    assert "damaged snapshot refused: checksum mismatch" in out

@@ -22,13 +22,14 @@ SUBPACKAGES = [
     "repro.plan",
     "repro.service",
     "repro.shard",
+    "repro.store",
     "repro.stream",
     "repro.utils",
 ]
 
 
 def test_version():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_all_exports_resolve():

@@ -1,0 +1,329 @@
+"""Crash-consistency of the columnar store, driven by fault injection.
+
+The snapshot writer announces every intermediate step — half a column
+on disk, a column written but not fsynced, the manifest half-written,
+the commit rename pending, the ``CURRENT`` pointer mid-move — through
+:func:`repro.store.fault_point`.  This suite first *records* the full
+label stream of a successful snapshot, then replays the writer once
+per label with a hook that raises :class:`InjectedFault` exactly
+there, leaving whatever a real crash at that instant would leave (the
+writer deliberately skips cleanup on injected faults).  After every
+simulated crash the invariant under test is the same:
+
+    the last **committed** snapshot still loads and answers queries
+    bit-identically, and the next clean snapshot succeeds.
+
+The second half pins the typed-corruption contract: flipped column
+bytes, truncated or non-JSON manifests, missing columns, and tampered
+``CURRENT`` pointers raise :class:`StoreCorruptionError` — never
+garbage rankings.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro import GeoSocialEngine, ShardedGeoSocialEngine, gowalla_like
+from repro.service import QueryService
+from repro.store import (
+    FORMAT_NAME,
+    MANIFEST_NAME,
+    InjectedFault,
+    StoreCorruptionError,
+    StoreError,
+    fault_injection,
+    load_engine,
+    save_engine,
+)
+from repro.store.manager import CURRENT_NAME
+
+pytest.importorskip("numpy", reason="the columnar store persists .npy columns")
+
+METHODS = ("ais", "tsa", "sfa", "bruteforce", "auto")
+
+
+def make_engine(n=160, seed=11):
+    return GeoSocialEngine.from_dataset(
+        gowalla_like(n=n, seed=seed), num_landmarks=3, s=3, seed=2
+    )
+
+
+def reference_answers(engine, users=None, k=5, alpha=0.3):
+    """(user, method) -> [(id, score), ...] — the bit-exact baseline a
+    recovered snapshot must reproduce."""
+    if users is None:
+        users = sorted(engine.locations.located_users())[:3]
+    return {
+        (u, m): [(nb.user, nb.score) for nb in engine.query(user=u, k=k, alpha=alpha, method=m)]
+        for u in users
+        for m in METHODS
+    }
+
+
+def assert_matches_reference(engine, reference):
+    for (u, m), expected in reference.items():
+        got = [
+            (nb.user, nb.score)
+            for nb in engine.query(user=u, k=5, alpha=0.3, method=m)
+        ]
+        assert got == expected, f"user {u} method {m}: {got} != {expected}"
+
+
+def crash_at(label):
+    """A fault hook that simulates a crash at exactly ``label``."""
+
+    def hook(seen, target=label):
+        if seen == target:
+            raise InjectedFault(seen)
+
+    return hook
+
+
+def record_labels(service, root):
+    """The full fault-point stream of one successful snapshot."""
+    labels = []
+    with fault_injection(labels.append):
+        service.snapshots(root).snapshot()
+    return labels
+
+
+# -- fault-point coverage ----------------------------------------------
+
+
+def test_fault_labels_cover_every_writer_stage(tmp_path):
+    engine = make_engine(n=80)
+    with QueryService(engine) as service:
+        labels = record_labels(service, tmp_path / "snaps")
+    # every column passes through partial / pre-fsync / synced
+    columns = {l.split(":")[1] for l in labels if l.startswith("column:")}
+    assert {"xs", "ys", "landmark_matrix", "graph_indptr", "graph_nbrs", "graph_wts"} <= columns
+    assert any(c.endswith("grid_users") for c in columns)
+    for column in columns:
+        for stage in ("partial", "pre-fsync", "synced"):
+            assert f"column:{column}:{stage}" in labels
+    # the manifest, the directory commit, and the pointer move each
+    # announce their intermediate states, in protocol order
+    for label in (
+        "manifest:pre-write",
+        "manifest:partial",
+        "manifest:pre-fsync",
+        "manifest:synced",
+        "commit:pre-rename",
+        "commit:renamed",
+        "manager:pre-commit",
+        "manager:pointer-written",
+        "manager:committed",
+    ):
+        assert label in labels
+    assert labels.index("manifest:pre-write") > max(
+        i for i, l in enumerate(labels) if l.startswith("column:")
+    ), "the manifest must be written after every column (it is the commit point)"
+    assert labels.index("commit:pre-rename") > labels.index("manifest:synced")
+    assert labels.index("manager:pre-commit") > labels.index("commit:renamed")
+
+
+# -- the core invariant: crash anywhere, recover the last commit --------
+
+
+def test_crash_at_every_fault_point_preserves_last_committed(tmp_path):
+    """Kill the writer at *every* intermediate step of a second
+    snapshot; snapshot #1 must stay the loadable, committed latest, and
+    a clean snapshot afterwards must succeed."""
+    engine = make_engine()
+    reference = reference_answers(engine)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        first = manager.snapshot()
+        labels = record_labels(service, tmp_path / "labels-probe")
+        assert len(labels) > 25
+        for label in labels:
+            before = set((tmp_path / "snaps").iterdir())
+            with fault_injection(crash_at(label)):
+                with pytest.raises(InjectedFault) as excinfo:
+                    manager.snapshot()
+            assert excinfo.value.label == label
+            latest = manager.latest()
+            assert latest is not None, f"crash at {label} lost the committed pointer"
+            if label.startswith(("column:", "manifest:", "commit:pre-rename")):
+                # nothing new became visible as a committed snapshot
+                assert latest == first, f"crash at {label} moved CURRENT"
+                committed = set(manager.snapshots())
+                assert committed == {p for p in before if p in committed} | {first}
+            recovered = load_engine(latest)
+            assert_matches_reference(recovered, reference)
+        # after all that debris, a clean snapshot still commits
+        final = manager.snapshot()
+        assert manager.latest() == final
+        assert_matches_reference(load_engine(final), reference)
+
+
+def test_crash_before_first_commit_leaves_no_snapshot(tmp_path):
+    engine = make_engine(n=80)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        with fault_injection(crash_at("commit:pre-rename")):
+            with pytest.raises(InjectedFault):
+                manager.snapshot()
+        assert manager.latest() is None
+        assert manager.snapshots() == []
+        with pytest.raises(StoreError):
+            manager.load()
+        # the crash left writer debris under a .tmp- name no reader opens
+        debris = [p for p in (tmp_path / "snaps").iterdir() if ".tmp-" in p.name]
+        assert debris
+        # recovery: the next snapshot claims a fresh sequence number
+        path = manager.snapshot()
+        assert path.name != debris[0].name.split(".tmp-")[0]
+        assert manager.latest() == path
+
+
+def test_crash_between_rename_and_pointer_is_recoverable(tmp_path):
+    """A crash after the snapshot directory renames but before CURRENT
+    moves leaves an extra committed directory the pointer ignores —
+    the previous snapshot stays latest, and prune reaps the orphan."""
+    engine = make_engine(n=80)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        first = manager.snapshot()
+        for label in ("manager:pre-commit", "manager:pointer-written"):
+            with fault_injection(crash_at(label)):
+                with pytest.raises(InjectedFault):
+                    manager.snapshot()
+            assert manager.latest() == first, label
+        orphans = [p for p in manager.snapshots() if p != first]
+        assert len(orphans) == 2
+        # prune keeps the newest `keep` committed dirs plus the CURRENT
+        # target: the older orphan goes, the pointer never moves
+        removed = manager.prune(keep=1)
+        assert removed == [orphans[0]]
+        assert manager.latest() == first
+        assert set(manager.snapshots()) == {first, orphans[1]}
+
+
+def test_crash_during_sharded_snapshot(tmp_path):
+    engine = ShardedGeoSocialEngine.from_dataset(
+        gowalla_like(n=150, seed=5), n_shards=4, max_workers=1, num_landmarks=3, seed=2
+    )
+    reference = reference_answers(engine)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        first = manager.snapshot()
+        for label in ("column:xs:partial", "manifest:partial", "commit:pre-rename"):
+            with fault_injection(crash_at(label)):
+                with pytest.raises(InjectedFault):
+                    manager.snapshot()
+            assert manager.latest() == first
+            recovered = load_engine(first)
+            assert isinstance(recovered, ShardedGeoSocialEngine)
+            assert_matches_reference(recovered, reference)
+
+
+def test_injected_fault_leaves_debris_but_real_errors_clean_up(tmp_path):
+    engine = make_engine(n=80)
+    # injected fault: temp dir survives, as after a real crash
+    with fault_injection(crash_at("manifest:pre-fsync")):
+        with pytest.raises(InjectedFault):
+            save_engine(engine, tmp_path / "a")
+    assert not (tmp_path / "a").exists()
+    assert [p for p in tmp_path.iterdir() if p.name.startswith("a.tmp-")]
+    # ordinary exception: the writer removes its temp state
+    def boom(label):
+        if label == "manifest:pre-fsync":
+            raise OSError("disk full")
+
+    with fault_injection(boom):
+        with pytest.raises(OSError):
+            save_engine(engine, tmp_path / "b")
+    assert not (tmp_path / "b").exists()
+    assert not [p for p in tmp_path.iterdir() if p.name.startswith("b.tmp-")]
+
+
+# -- typed corruption ----------------------------------------------------
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    engine = make_engine(n=80)
+    path = tmp_path / "snap"
+    engine.save(path)
+    return engine, path
+
+
+def test_flipped_column_byte_raises_corruption(saved):
+    _, path = saved
+    for column in sorted(path.glob("*.npy")):
+        original = column.read_bytes()
+        damaged = bytearray(original)
+        damaged[len(damaged) // 2] ^= 0xFF
+        column.write_bytes(bytes(damaged))
+        with pytest.raises(StoreCorruptionError, match="checksum mismatch"):
+            load_engine(path)
+        column.write_bytes(original)
+    load_engine(path)  # pristine again
+
+
+def test_truncated_manifest_raises_corruption(saved, tmp_path):
+    _, path = saved
+    manifest = path / MANIFEST_NAME
+    payload = manifest.read_bytes()
+    for cut in (0, 1, len(payload) // 2, len(payload) - 1):
+        manifest.write_bytes(payload[:cut])
+        with pytest.raises(StoreCorruptionError):
+            load_engine(path)
+    manifest.unlink()
+    with pytest.raises(StoreCorruptionError, match="no readable manifest"):
+        load_engine(path)
+
+
+def test_foreign_and_future_manifests_are_rejected(saved):
+    _, path = saved
+    manifest = path / MANIFEST_NAME
+    original = json.loads(manifest.read_text())
+    foreign = dict(original, format="someone-elses-format")
+    manifest.write_text(json.dumps(foreign))
+    with pytest.raises(StoreCorruptionError, match=FORMAT_NAME):
+        load_engine(path)
+    future = dict(original, format_version=999)
+    manifest.write_text(json.dumps(future))
+    with pytest.raises(StoreError, match="format version"):
+        load_engine(path)
+
+
+def test_missing_column_file_raises_corruption(saved):
+    _, path = saved
+    (path / "xs.npy").unlink()
+    with pytest.raises(StoreCorruptionError):
+        load_engine(path)
+
+
+def test_manifest_column_shape_disagreement_raises_corruption(saved):
+    _, path = saved
+    manifest = path / MANIFEST_NAME
+    doc = json.loads(manifest.read_text())
+    doc["columns"]["xs"]["shape"] = [3]
+    manifest.write_text(json.dumps(doc))
+    with pytest.raises(StoreCorruptionError):
+        load_engine(path, verify=False)
+
+
+def test_tampered_current_pointer_raises_corruption(tmp_path):
+    engine = make_engine(n=80)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        manager.snapshot()
+        (tmp_path / "snaps" / CURRENT_NAME).write_text("snapshot-999999\n")
+        with pytest.raises(StoreCorruptionError, match="CURRENT"):
+            manager.latest()
+
+
+def test_committed_snapshot_with_gutted_directory_fails_loudly(tmp_path):
+    engine = make_engine(n=80)
+    with QueryService(engine) as service:
+        manager = service.snapshots(tmp_path / "snaps")
+        path = manager.snapshot()
+        shutil.rmtree(path)
+        with pytest.raises(StoreCorruptionError):
+            manager.latest()

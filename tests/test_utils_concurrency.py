@@ -1,0 +1,197 @@
+"""``repro.utils.concurrency`` — the readers-writer lock guarding
+every engine's indexes and the lazy worker pool behind sharded
+scatter-gather.  Focus: exclusion semantics, the shutdown/exception
+paths of :class:`TaskPool`, and the inline fast paths that must never
+spawn threads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.concurrency import ReadWriteLock, TaskPool
+
+
+def run_in_thread(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+class TestReadWriteLock:
+    def test_many_readers_hold_concurrently(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # deadlocks (and times out) unless all 4 overlap
+
+        threads = [run_in_thread(reader) for _ in range(4)]
+        for t in threads:
+            t.join(timeout=5)
+            assert not t.is_alive()
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        order = []
+        writing = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writing.set()
+                time.sleep(0.05)
+                order.append("writer-done")
+
+        def reader():
+            writing.wait(timeout=5)
+            with lock.read_locked():
+                order.append("reader")
+
+        w = run_in_thread(writer)
+        r = run_in_thread(reader)
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["writer-done", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once a writer queues behind the active
+        reader, later readers wait behind the writer."""
+        lock = ReadWriteLock()
+        order = []
+        reader_in = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                writer_waiting.wait(timeout=5)
+                time.sleep(0.05)
+                order.append("reader-1")
+
+        def writer():
+            reader_in.wait(timeout=5)
+            writer_waiting.set()  # just before blocking on acquire_write
+            with lock.write_locked():
+                order.append("writer")
+
+        def second_reader():
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.01)  # let the writer reach its wait first
+            with lock.read_locked():
+                order.append("reader-2")
+
+        threads = [run_in_thread(f) for f in (first_reader, writer, second_reader)]
+        for t in threads:
+            t.join(timeout=5)
+        assert order == ["reader-1", "writer", "reader-2"]
+
+    def test_read_lock_released_on_exception(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            with lock.read_locked():
+                raise RuntimeError("boom")
+        with lock.write_locked():  # would deadlock if the read leaked
+            pass
+
+    def test_write_lock_released_on_exception(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            with lock.write_locked():
+                raise RuntimeError("boom")
+        with lock.read_locked():
+            pass
+
+
+class TestTaskPool:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            TaskPool(max_workers=0)
+
+    def test_map_preserves_item_order(self):
+        pool = TaskPool(max_workers=4)
+        try:
+            # staggered sleeps: out-of-order completion, in-order results
+            items = [0.03, 0.0, 0.02, 0.0, 0.01]
+
+            def tag(delay):
+                time.sleep(delay)
+                return delay
+
+            assert pool.map(tag, items) == items
+        finally:
+            pool.close()
+
+    def test_single_worker_never_creates_a_pool(self):
+        pool = TaskPool(max_workers=1)
+        assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+        assert pool._pool is None
+        pool.close()
+
+    def test_single_item_runs_inline(self):
+        pool = TaskPool(max_workers=4)
+        main = threading.current_thread().name
+        assert pool.map(lambda _: threading.current_thread().name, ["x"]) == [main]
+        assert pool._pool is None  # creation is deferred until truly needed
+        pool.close()
+
+    def test_parallel_calls_use_worker_threads(self):
+        pool = TaskPool(max_workers=2, thread_name_prefix="probe")
+        try:
+            names = pool.map(lambda _: threading.current_thread().name, range(4))
+            assert all(name.startswith("probe") for name in names)
+        finally:
+            pool.close()
+
+    def test_exception_in_fn_propagates(self):
+        pool = TaskPool(max_workers=2)
+        try:
+            def explode(v):
+                if v == 2:
+                    raise KeyError("item 2")
+                return v
+
+            with pytest.raises(KeyError):
+                pool.map(explode, [1, 2, 3])
+        finally:
+            pool.close()
+
+    def test_runtime_error_from_fn_is_not_swallowed(self):
+        """The shutdown-race fallback must not catch RuntimeErrors the
+        mapped function itself raises."""
+        pool = TaskPool(max_workers=2)
+        try:
+            def explode(v):
+                raise RuntimeError("from fn, not from shutdown")
+
+            with pytest.raises(RuntimeError, match="from fn"):
+                pool.map(explode, [1, 2, 3])
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_observable(self):
+        pool = TaskPool(max_workers=2)
+        assert not pool.closed
+        pool.map(lambda v: v, [1, 2])  # force pool creation
+        pool.close()
+        pool.close()
+        assert pool.closed
+        assert pool._pool is None
+
+    def test_map_after_close_degrades_to_inline(self):
+        """A caller racing ``close`` gets sequential execution, not a
+        failure — the shard layer relies on this during shutdown."""
+        pool = TaskPool(max_workers=4)
+        pool.map(lambda v: v, [1, 2])
+        pool.close()
+        main = threading.current_thread().name
+        names = pool.map(lambda _: threading.current_thread().name, range(3))
+        assert names == [main] * 3
+
+    def test_close_without_use_never_spawns(self):
+        pool = TaskPool(max_workers=8)
+        pool.close()
+        assert pool._pool is None
+        assert pool.map(lambda v: v * 2, [1, 2, 3]) == [2, 4, 6]
