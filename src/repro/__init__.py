@@ -10,9 +10,13 @@ indexes, the aggregate index with social summaries), calibrated dataset
 generators, a benchmark harness regenerating the paper's evaluation,
 a serving layer (:mod:`repro.service`) adding batching, worker-pool
 concurrency, and an update-aware result cache on top of the engine,
-and a sharding layer (:mod:`repro.shard`) that partitions users across
+a sharding layer (:mod:`repro.shard`) that partitions users across
 spatial shards and answers by scatter-gather with bound-based shard
-pruning — rankings identical to the single engine, property-tested.
+pruning — rankings identical to the single engine, property-tested —
+and a network boundary: an asyncio HTTP server with admission
+control, request coalescing, and SSE subscription streams
+(:mod:`repro.server`) plus the ``repro`` operator CLI
+(:mod:`repro.cli`, optional ``[cli]`` extra).
 
 Quickstart::
 
@@ -64,7 +68,7 @@ from repro.store import (
 from repro.stream.registry import SubscriptionRegistry
 from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,246 @@
+"""Open-loop load generation against the HTTP server.
+
+Closed-loop clients (send, wait, send again) hide saturation: when the
+server slows down, the offered load politely slows down with it and the
+measured latency stays flat — the *coordinated omission* trap.  This
+module drives the real :class:`~repro.server.app.ServerThread` the way
+production traffic would: arrivals are scheduled in advance from a
+Poisson process at a fixed *offered* rate, each request's latency is
+measured from its **scheduled arrival time** (so queueing delay behind
+a slow server is charged to the server, not silently skipped), and the
+server is free to shed with ``429`` when its admission queue fills.
+
+One experiment sweeps offered load from well below measured capacity to
+well past it and reports, per point: achieved qps, shed rate, and the
+p50/p99/p999 of arrival-anchored latency — the canonical saturation
+curve (flat latency, zero shed → hockey stick → shedding holds p99
+bounded for the requests that are admitted).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bench.config import BenchProfile, get_profile
+from repro.bench.reporting import ExperimentTable
+from repro.bench.service_workload import zipf_arrivals
+from repro.bench.workloads import get_bundle
+from repro.server.client import ServerClient
+
+
+@dataclass
+class LoadPoint:
+    """One offered-load data point of the saturation sweep."""
+
+    label: str
+    offered_qps: float
+    sent: int
+    ok: int
+    shed: int
+    errors: int
+    duration_s: float
+    #: arrival-anchored latencies (seconds) of the *admitted* requests
+    latencies_s: list = field(default_factory=list, repr=False)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.sent if self.sent else 0.0
+
+    def latency_ms(self, quantile: float) -> float:
+        """Latency quantile in milliseconds (nearest-rank)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, max(0, math.ceil(quantile * len(ordered)) - 1))
+        return ordered[rank] * 1000.0
+
+    def row(self) -> list:
+        return [
+            self.label,
+            round(self.offered_qps, 1),
+            round(self.achieved_qps, 1),
+            round(self.shed_rate, 4),
+            round(self.latency_ms(0.50), 2),
+            round(self.latency_ms(0.99), 2),
+            round(self.latency_ms(0.999), 2),
+        ]
+
+    def payload(self) -> dict:
+        return {
+            "label": self.label,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "sent": self.sent,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": self.shed_rate,
+            "p50_ms": self.latency_ms(0.50),
+            "p99_ms": self.latency_ms(0.99),
+            "p999_ms": self.latency_ms(0.999),
+        }
+
+
+HEADERS = ["Load", "Offered qps", "Achieved qps", "Shed rate", "p50 ms", "p99 ms", "p999 ms"]
+
+#: sweep points as fractions of measured closed-loop capacity — the
+#: last one is deliberately past saturation to exercise shedding
+LOAD_FRACTIONS = (("light", 0.4), ("near-capacity", 0.9), ("overload", 2.5))
+
+
+def estimate_capacity_qps(
+    host: str, port: int, users: list, k: int, alpha: float, concurrency: int = 4
+) -> float:
+    """Closed-loop calibration: ``concurrency`` synchronous clients
+    hammer the server through one pass over ``users``; the combined
+    completion rate approximates saturation throughput."""
+    cursor = {"i": 0}
+    lock = threading.Lock()
+
+    def drain() -> int:
+        done = 0
+        with ServerClient(host, port) as client:
+            while True:
+                with lock:
+                    i = cursor["i"]
+                    cursor["i"] = i + 1
+                if i >= len(users):
+                    return done
+                client.query(users[i], k=k, alpha=alpha)
+                done += 1
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        total = sum(pool.map(lambda _: drain(), range(concurrency)))
+    elapsed = time.perf_counter() - start
+    if total == 0 or elapsed <= 0:
+        raise RuntimeError("capacity calibration served no queries")
+    return total / elapsed
+
+
+def run_load_point(
+    host: str,
+    port: int,
+    users: list,
+    offered_qps: float,
+    k: int,
+    alpha: float,
+    label: str = "",
+    seed: int = 0,
+    pool_size: int = 64,
+) -> LoadPoint:
+    """Fire ``len(users)`` requests open-loop at ``offered_qps``.
+
+    Arrival offsets are pre-drawn Poisson interarrivals; the dispatcher
+    sleeps to each scheduled instant and hands the request to a worker
+    pool regardless of how many are still outstanding.  Latency is
+    ``completion - scheduled_arrival``, charging queueing delay.
+
+    ``pool_size`` must exceed the server's ``queue_depth + workers`` or
+    the client pool itself becomes the admission limit and the server
+    never sheds — the closed-loop trap this generator exists to avoid.
+    """
+    if offered_qps <= 0:
+        raise ValueError(f"offered_qps must be > 0, got {offered_qps}")
+    rng = random.Random(seed)
+    offsets = []
+    t = 0.0
+    for _ in users:
+        t += rng.expovariate(offered_qps)
+        offsets.append(t)
+
+    point = LoadPoint(label=label or f"{offered_qps:.0f}qps", offered_qps=offered_qps,
+                      sent=0, ok=0, shed=0, errors=0, duration_s=0.0)
+    lock = threading.Lock()
+    local = threading.local()
+
+    def client() -> ServerClient:
+        if getattr(local, "client", None) is None:
+            local.client = ServerClient(host, port)
+        return local.client
+
+    def fire(user: int, scheduled: float) -> None:
+        try:
+            status, _, _ = client().request(
+                "POST", "/query", {"user": user, "k": k, "alpha": alpha}
+            )
+        except Exception:
+            status = -1
+        done = time.perf_counter()
+        with lock:
+            if status == 200:
+                point.ok += 1
+                point.latencies_s.append(done - scheduled)
+            elif status == 429:
+                point.shed += 1
+            else:
+                point.errors += 1
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+        futures = []
+        for user, offset in zip(users, offsets):
+            delay = start + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            point.sent += 1
+            futures.append(pool.submit(fire, user, start + offset))
+        for future in futures:
+            future.result()
+    point.duration_s = time.perf_counter() - start
+    return point
+
+
+def server_load_sweep(
+    profile: "BenchProfile | None" = None,
+    queue_depth: int = 16,
+    workers: int = 2,
+) -> "tuple[float, list[LoadPoint], ExperimentTable]":
+    """The full experiment: boot a server over the gowalla bundle,
+    calibrate capacity closed-loop, then sweep :data:`LOAD_FRACTIONS`
+    open-loop.  Returns ``(capacity_qps, points, table)``."""
+    from repro import QueryService
+    from repro.server import ServerThread
+
+    profile = profile or get_profile()
+    bundle = get_bundle("gowalla", profile)
+    located = list(bundle.dataset.locations.located_users())
+    count = max(profile.queries * 20, 120)
+    arrivals = zipf_arrivals(located, count=count, skew=1.1, seed=profile.seed)
+    k, alpha = profile.default_k, profile.default_alpha
+
+    table = ExperimentTable(
+        experiment="server_load",
+        title="HTTP saturation sweep (open-loop Poisson arrivals, Zipf users)",
+        headers=HEADERS,
+        notes="latency anchored at scheduled arrival; shed = HTTP 429",
+    )
+    points: list[LoadPoint] = []
+    with QueryService(bundle.engine, cache_size=0) as service:
+        with ServerThread(service, queue_depth=queue_depth, workers=workers) as handle:
+            capacity = estimate_capacity_qps(
+                handle.host, handle.port, arrivals[: max(count // 2, 60)], k, alpha
+            )
+            for label, fraction in LOAD_FRACTIONS:
+                point = run_load_point(
+                    handle.host,
+                    handle.port,
+                    arrivals,
+                    offered_qps=max(capacity * fraction, 1.0),
+                    k=k,
+                    alpha=alpha,
+                    label=label,
+                    seed=profile.seed,
+                )
+                points.append(point)
+                table.add_row(point.row())
+    return capacity, points, table

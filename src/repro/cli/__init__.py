@@ -1,0 +1,29 @@
+"""The ``repro`` operator CLI.
+
+The actual commands live in :mod:`repro.cli.commands`, which needs
+:mod:`click` — an *optional* dependency (``pip install
+repro-ssrq[cli]``).  This package's :func:`main` entry point gates
+that import so a missing click fails with instructions instead of a
+traceback, and the library itself never pays the import.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+
+def main() -> None:
+    """Console-script entry point (``repro = repro.cli:main``)."""
+    try:
+        from repro.cli.commands import cli
+    except ModuleNotFoundError as err:
+        if err.name == "click":
+            sys.stderr.write(
+                "the repro CLI needs the optional 'click' dependency;\n"
+                "install it with: pip install click  (or: pip install 'repro-ssrq[cli]')\n"
+            )
+            raise SystemExit(1) from None
+        raise
+    cli()

@@ -1,0 +1,97 @@
+"""Output formatting for the operator CLI.
+
+Every read command renders through one function so the three formats
+stay in lock-step: ``table`` (aligned plain text, no third-party
+table dependency), ``csv`` (machine-ingestable, header row included)
+and ``json`` (the wire payload, pretty-printed).  The same rows feed
+all three — a column added to a command shows up everywhere at once.
+
+    >>> from repro.cli.format import format_output
+    >>> rows = [{"user": 9, "score": 0.25}, {"user": 11, "score": 0.5}]
+    >>> print(format_output(rows, ["user", "score"], "table"))
+    user  score
+    ----  -----
+    9     0.25
+    11    0.5
+    >>> print(format_output(rows, ["user", "score"], "csv"))
+    user,score
+    9,0.25
+    11,0.5
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+__all__ = ["FORMATS", "format_output", "flatten_stats"]
+
+FORMATS = ("table", "csv", "json")
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _format_table(rows: "list[dict]", columns: "list[str]") -> str:
+    headers = [str(col) for col in columns]
+    body = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(len(columns))).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(columns))).rstrip(),
+    ]
+    for line in body:
+        lines.append(
+            "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _format_csv(rows: "list[dict]", columns: "list[str]") -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_cell(row.get(col)) for col in columns])
+    return buffer.getvalue().rstrip("\n")
+
+
+def format_output(rows: "list[dict]", columns: "list[str]", fmt: str) -> str:
+    """Render ``rows`` (plain dicts) in one of :data:`FORMATS`."""
+    if fmt == "table":
+        return _format_table(rows, columns)
+    if fmt == "csv":
+        return _format_csv(rows, columns)
+    if fmt == "json":
+        return json.dumps(
+            [{col: row.get(col) for col in columns} for row in rows], indent=2
+        )
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def flatten_stats(payload: dict) -> "list[dict]":
+    """``/stats``'s nested sections as flat ``section/key/value`` rows
+    (dict-valued leaves like ``per_method`` become dotted keys)."""
+    rows: list[dict] = []
+    for section, body in payload.items():
+        if not isinstance(body, dict):
+            rows.append({"section": section, "key": "", "value": body})
+            continue
+        for key, value in body.items():
+            if isinstance(value, dict):
+                for label, entry in sorted(value.items()):
+                    rows.append(
+                        {"section": section, "key": f"{key}.{label}", "value": entry}
+                    )
+            else:
+                rows.append({"section": section, "key": key, "value": value})
+    return rows

@@ -1,0 +1,81 @@
+"""Prometheus text rendering of the stack's stats objects.
+
+``/metrics`` flattens the ``/stats`` JSON document into the Prometheus
+text exposition format: every numeric leaf of section ``s`` and key
+``k`` becomes ``repro_s_k``, and one level of dict-valued counters
+(``per_method`` maps) becomes a labelled family
+(``repro_service_per_method{method="spa"} 3``).  Non-numeric leaves
+are skipped — Prometheus has no string samples — but survive in the
+JSON variant (``/metrics?format=json``, which simply returns the
+``/stats`` document).
+
+    >>> from repro.server.metrics import render_prometheus
+    >>> text = render_prometheus({"service": {"requests": 4,
+    ...                                       "per_method": {"spa": 3}}})
+    >>> print(text.strip())
+    # TYPE repro_service_requests gauge
+    repro_service_requests 4
+    # TYPE repro_service_per_method gauge
+    repro_service_per_method{method="spa"} 3
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _format_value(value: "int | float") -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def _label_key(section: str, key: str) -> str:
+    # per_method maps label by method; anything else labels by "key"
+    return "method" if key.endswith("per_method") else "key"
+
+
+def render_prometheus(sections: dict) -> str:
+    """Flatten ``{section: {key: number | {label: number}}}`` into
+    Prometheus text format (stable ordering: insertion order of the
+    payload, sorted labels)."""
+    lines: list[str] = []
+    for section, body in sections.items():
+        if not isinstance(body, dict):
+            continue
+        prefix = f"repro_{_sanitize(section)}"
+        for key, value in body.items():
+            metric = f"{prefix}_{_sanitize(key)}"
+            if isinstance(value, bool) or isinstance(value, (int, float)):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_format_value(value)}")
+            elif isinstance(value, dict):
+                samples = [
+                    (label, entry)
+                    for label, entry in sorted(value.items())
+                    if isinstance(entry, (int, float)) and not isinstance(entry, bool)
+                ]
+                if not samples:
+                    continue
+                lines.append(f"# TYPE {metric} gauge")
+                label_name = _label_key(section, key)
+                for label, entry in samples:
+                    escaped = str(label).replace("\\", r"\\").replace('"', r"\"")
+                    lines.append(
+                        f'{metric}{{{label_name}="{escaped}"}} {_format_value(entry)}'
+                    )
+    return "\n".join(lines) + "\n"

@@ -17,8 +17,37 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.result import SSRQResult
+from repro.core.result import Neighbor, SSRQResult
 from repro.core.stats import SearchStats
+
+
+def neighbor_payload(nb: Neighbor) -> dict:
+    """One ranked neighbour as a plain dict (the wire/CLI shape).
+
+        >>> from repro import Neighbor
+        >>> from repro.service.model import neighbor_payload
+        >>> neighbor_payload(Neighbor(9, 0.25, 1.0, 0.1))
+        {'user': 9, 'score': 0.25, 'social': 1.0, 'spatial': 0.1}
+    """
+    return {"user": nb.user, "score": nb.score, "social": nb.social, "spatial": nb.spatial}
+
+
+def result_payload(result: SSRQResult) -> dict:
+    """An :class:`~repro.core.result.SSRQResult` as a plain dict.
+
+    Floats are carried as-is (``json.dumps`` preserves them exactly via
+    ``repr`` round-tripping), so a serialized result is bit-identical
+    to the in-process one — the property the server conformance suite
+    asserts end to end.
+    """
+    return {
+        "query_user": result.query_user,
+        "k": result.k,
+        "alpha": result.alpha,
+        "method": result.method,
+        "users": result.users,
+        "neighbors": [neighbor_payload(nb) for nb in result.neighbors],
+    }
 
 
 @dataclass(frozen=True)
@@ -65,6 +94,46 @@ class QueryRequest:
             raise TypeError(f"expected a user id or QueryRequest, got {item!r}")
         return cls(item, k=k, alpha=alpha, method=method, t=t)
 
+    @classmethod
+    def from_payload(
+        cls,
+        obj: dict,
+        *,
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = "ais",
+        t: int | None = None,
+    ) -> "QueryRequest":
+        """Build a request from a plain dict (the wire shape), with
+        defaults for omitted fields.  Raises ``ValueError`` with the
+        same wording contract the engine uses, so the HTTP layer maps
+        parse failures and engine rejections identically.
+
+            >>> from repro.service import QueryRequest
+            >>> QueryRequest.from_payload({"user": 3, "k": 5})
+            QueryRequest(user=3, k=5, alpha=0.3, method='ais', t=None)
+        """
+        if not isinstance(obj, dict):
+            raise ValueError(f"expected a request object, got {obj!r}")
+        if "user" not in obj:
+            raise ValueError("request is missing required field 'user'")
+        user = obj["user"]
+        if isinstance(user, bool) or not isinstance(user, int):
+            raise ValueError(f"user must be an integer id, got {user!r}")
+        k_val = obj.get("k", k)
+        if isinstance(k_val, bool) or not isinstance(k_val, int):
+            raise ValueError(f"k must be an integer, got {k_val!r}")
+        alpha_val = obj.get("alpha", alpha)
+        if isinstance(alpha_val, bool) or not isinstance(alpha_val, (int, float)):
+            raise ValueError(f"alpha must be a number, got {alpha_val!r}")
+        method_val = obj.get("method", method)
+        if not isinstance(method_val, str):
+            raise ValueError(f"method must be a string, got {method_val!r}")
+        t_val = obj.get("t", t)
+        if t_val is not None and (isinstance(t_val, bool) or not isinstance(t_val, int)):
+            raise ValueError(f"t must be an integer or null, got {t_val!r}")
+        return cls(user, k=k_val, alpha=float(alpha_val), method=method_val, t=t_val)
+
 
 @dataclass(frozen=True)
 class QueryResponse:
@@ -94,6 +163,16 @@ class QueryResponse:
     def users(self) -> list[int]:
         """Ranked user ids (delegates to the result)."""
         return self.result.users
+
+    def payload(self) -> dict:
+        """The response as a plain dict (the wire/CLI shape): the full
+        result plus how it was served."""
+        return {
+            "result": result_payload(self.result),
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "latency": self.latency,
+        }
 
 
 @dataclass

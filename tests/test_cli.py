@@ -1,0 +1,287 @@
+"""The ``repro`` operator CLI: golden behaviour in all three formats.
+
+Outputs are asserted *relationally* rather than against frozen float
+literals: the same rows must render through every format, and the
+rendered values must equal what the engine itself returns — so the
+suite stays meaningful under both kernel backends (whose floats can
+legitimately differ at the last ulp) while still pinning the exact
+output contract (headers, column order, row order, value formatting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import threading
+import time
+
+import pytest
+
+click = pytest.importorskip("click", reason="the CLI is an optional extra")
+
+from click.testing import CliRunner  # noqa: E402
+
+from repro import GeoSocialEngine, QueryService  # noqa: E402
+from repro.cli.format import flatten_stats, format_output  # noqa: E402
+from repro.cli.commands import DATASETS, cli  # noqa: E402
+from repro.server import ServerClient, ServerThread  # noqa: E402
+from repro.service.model import result_payload  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def runner() -> CliRunner:
+    return CliRunner()
+
+
+@pytest.fixture(scope="module")
+def engine_dir(runner, tmp_path_factory) -> str:
+    path = str(tmp_path_factory.mktemp("cli") / "engine.store")
+    result = runner.invoke(
+        cli, ["load", path, "--dataset", "gowalla", "--n", "250", "--seed", "7"]
+    )
+    assert result.exit_code == 0, result.output
+    return path
+
+
+@pytest.fixture(scope="module")
+def engine(engine_dir) -> GeoSocialEngine:
+    return GeoSocialEngine.load(engine_dir)
+
+
+@pytest.fixture(scope="module")
+def query_user(engine) -> int:
+    return sorted(engine.locations.located_users())[0]
+
+
+@pytest.fixture(scope="module")
+def served(engine):
+    with QueryService(engine) as service:
+        with ServerThread(service, workers=2, heartbeat_s=0.2) as handle:
+            yield handle
+
+
+@pytest.fixture(scope="module")
+def address(served) -> str:
+    return f"{served.host}:{served.port}"
+
+
+# -- formatting primitives ---------------------------------------------
+
+
+def test_format_output_formats_agree():
+    rows = [
+        {"user": 3, "score": 0.5, "note": None},
+        {"user": 11, "score": 0.125, "note": "x"},
+    ]
+    columns = ["user", "score", "note"]
+    table = format_output(rows, columns, "table")
+    lines = table.splitlines()
+    assert lines[0].split() == columns
+    assert set(lines[1]) <= {"-", " "}
+    assert lines[2].split() == ["3", "0.5"]  # None renders empty
+    as_csv = list(csv.reader(io.StringIO(format_output(rows, columns, "csv"))))
+    assert as_csv[0] == columns
+    assert as_csv[1] == ["3", "0.5", ""]
+    as_json = json.loads(format_output(rows, columns, "json"))
+    assert as_json == [
+        {"user": 3, "score": 0.5, "note": None},
+        {"user": 11, "score": 0.125, "note": "x"},
+    ]
+
+
+def test_format_output_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown format"):
+        format_output([], ["a"], "xml")
+
+
+def test_flatten_stats_dotted_keys():
+    rows = flatten_stats({"service": {"requests": 2, "per_method": {"spa": 1}}})
+    assert {"section": "service", "key": "requests", "value": 2} in rows
+    assert {"section": "service", "key": "per_method.spa", "value": 1} in rows
+
+
+# -- load / query (local engine) ---------------------------------------
+
+
+def test_load_reports_engine_shape(runner, engine_dir, engine):
+    # the fixture already ran `load`; verify what it persisted
+    assert engine.graph.n == 250
+
+
+def test_query_local_golden(runner, engine_dir, engine, query_user):
+    """The table/csv/json outputs all carry exactly the engine's own
+    answer, in rank order, formatted by the shared formatter."""
+    expected = result_payload(engine.query(query_user, k=5, alpha=0.3, method="ais"))
+    expected_rows = [
+        dict(rank=i, **nb) for i, nb in enumerate(expected["neighbors"])
+    ]
+    columns = ["rank", "user", "score", "social", "spatial"]
+    for fmt in ("table", "csv", "json"):
+        result = runner.invoke(
+            cli,
+            ["query", str(query_user), "--engine", engine_dir, "-k", "5",
+             "--alpha", "0.3", "--format", fmt],
+        )
+        assert result.exit_code == 0, result.output
+        assert result.output.rstrip("\n") == format_output(expected_rows, columns, fmt)
+    # csv is machine-parseable back to the same users
+    result = runner.invoke(
+        cli,
+        ["query", str(query_user), "--engine", engine_dir, "-k", "5",
+         "--alpha", "0.3", "--format", "csv"],
+    )
+    parsed = list(csv.DictReader(io.StringIO(result.output)))
+    assert [int(row["user"]) for row in parsed] == expected["users"]
+
+
+def test_query_requires_exactly_one_target(runner, engine_dir, query_user):
+    result = runner.invoke(cli, ["query", str(query_user)])
+    assert result.exit_code != 0
+    assert "exactly one of --engine or --server" in result.output
+    result = runner.invoke(
+        cli,
+        ["query", str(query_user), "--engine", engine_dir, "--server", "x:1"],
+    )
+    assert result.exit_code != 0
+
+
+def test_query_error_is_clean_not_traceback(runner, engine_dir):
+    result = runner.invoke(cli, ["query", "999999", "--engine", engine_dir])
+    assert result.exit_code == 1
+    assert "out of range" in result.output
+    assert "Traceback" not in result.output
+
+
+# -- server-backed commands --------------------------------------------
+
+
+def test_query_against_server_matches_local(runner, engine_dir, address, engine, query_user):
+    over_http = runner.invoke(
+        cli, ["query", str(query_user), "--server", address, "-k", "5", "--format", "csv"]
+    )
+    local = runner.invoke(
+        cli, ["query", str(query_user), "--engine", engine_dir, "-k", "5", "--format", "csv"]
+    )
+    assert over_http.exit_code == 0, over_http.output
+    assert over_http.output == local.output
+
+
+def test_stats_command_all_formats(runner, address):
+    as_json = runner.invoke(cli, ["stats", "--server", address, "--format", "json"])
+    assert as_json.exit_code == 0, as_json.output
+    payload = json.loads(as_json.output)
+    assert "server" in payload and "service" in payload
+    table = runner.invoke(cli, ["stats", "--server", address])
+    assert table.exit_code == 0
+    assert table.output.splitlines()[0].split() == ["section", "key", "value"]
+    as_csv = runner.invoke(cli, ["stats", "--server", address, "--format", "csv"])
+    rows = list(csv.DictReader(io.StringIO(as_csv.output)))
+    sections = {row["section"] for row in rows}
+    assert {"service", "cache", "server", "engine"} <= sections
+
+
+def test_snapshot_restore_commands(runner, address, tmp_path):
+    root = str(tmp_path / "snaps")
+    result = runner.invoke(cli, ["snapshot", root, "--server", address])
+    assert result.exit_code == 0, result.output
+    assert "snapshot-" in result.output
+    result = runner.invoke(cli, ["restore", root, "--server", address])
+    assert result.exit_code == 0, result.output
+    assert "restored GeoSocialEngine with 250 users" in result.output
+
+
+def test_snapshot_local_engine(runner, engine_dir, tmp_path):
+    root = str(tmp_path / "local-snaps")
+    result = runner.invoke(cli, ["snapshot", root, "--engine", engine_dir])
+    assert result.exit_code == 0, result.output
+    assert "snapshot-" in result.output
+
+
+def test_tail_streams_events(runner, served, address, query_user):
+    """`repro tail --count 2` prints the snapshot then one delta as
+    JSON lines, and exits on its own."""
+    out: dict = {}
+
+    def run_tail() -> None:
+        out["result"] = runner.invoke(
+            cli,
+            ["tail", str(query_user), "--server", address, "-k", "5",
+             "--count", "2", "--format", "json"],
+        )
+
+    thread = threading.Thread(target=run_tail)
+    thread.start()
+    time.sleep(0.4)
+    with ServerClient(served.host, served.port) as client:
+        client.move(query_user, 0.271, 0.828)
+    thread.join(timeout=30)
+    result = out["result"]
+    assert result.exit_code == 0, result.output
+    lines = [json.loads(line) for line in result.output.splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["event"] == "snapshot"
+    assert lines[0]["payload"]["user"] == query_user
+    assert lines[1]["event"] == "delta"
+
+
+def test_tail_table_has_header(runner, served, address, query_user):
+    out: dict = {}
+
+    def run_tail() -> None:
+        out["result"] = runner.invoke(
+            cli,
+            ["tail", str(query_user), "--server", address, "-k", "5",
+             "--count", "1", "--format", "table"],
+        )
+
+    thread = threading.Thread(target=run_tail)
+    thread.start()
+    thread.join(timeout=30)
+    result = out["result"]
+    assert result.exit_code == 0, result.output
+    lines = result.output.splitlines()
+    assert lines[0].split() == ["event", "entered", "left", "moved", "size"]
+    assert lines[1].startswith(("snapshot", "suspended"))
+
+
+def test_dataset_registry_is_complete():
+    assert set(DATASETS) == {"gowalla", "foursquare", "twitter", "correlated"}
+
+
+def test_version_flag(runner):
+    import repro
+
+    result = runner.invoke(cli, ["--version"])
+    assert result.exit_code == 0
+    assert repro.__version__ in result.output
+
+
+def test_missing_click_message_is_helpful():
+    """The gated entry point explains the optional extra instead of
+    tracebacking when click is absent."""
+    import builtins
+    import sys
+
+    from repro import cli as cli_package
+
+    real_import = builtins.__import__
+    saved = {
+        name: sys.modules.pop(name)
+        for name in list(sys.modules)
+        if name == "repro.cli.commands" or name == "click" or name.startswith("click.")
+    }
+
+    def no_click(name, *args, **kwargs):
+        if name == "click" or name.startswith("click."):
+            raise ModuleNotFoundError(f"No module named {name!r}", name=name)
+        return real_import(name, *args, **kwargs)
+
+    builtins.__import__ = no_click
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            cli_package.main()
+        assert excinfo.value.code == 1
+    finally:
+        builtins.__import__ = real_import
+        sys.modules.update(saved)

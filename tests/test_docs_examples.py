@@ -71,8 +71,13 @@ DOCUMENTED_MODULES = [
     "repro.stream.conditions",
     "repro.stream.registry",
     "repro.stream.subscription",
+    "repro.server.app",
+    "repro.server.client",
+    "repro.server.errors",
+    "repro.cli.format",
     "repro.topk.merge",
     "repro.utils.concurrency",
+    "repro.bench.server_load",
     "repro.bench.service_workload",
     "repro.bench.stream_workload",
 ]

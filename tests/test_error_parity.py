@@ -1,0 +1,178 @@
+"""Error-path parity: every layer rejects a bad request the same way.
+
+The engine's contract is ``ValueError`` with pinned wording for the
+request-error families — invalid parameters (``k``/``alpha``/method),
+unknown user id, unlocated query user.  This suite drives each family
+through all four call paths:
+
+1. ``engine.query`` (the paper's algorithms),
+2. ``QueryService.query`` (the serving layer),
+3. ``ShardedGeoSocialEngine.query`` (the scale-out layer),
+4. the HTTP server (``POST /query``),
+
+and asserts they agree: same exception type and message on the three
+in-process paths, and the matching ``400`` + typed body (via
+:func:`repro.server.errors.classify_exception`) on the wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GeoSocialEngine, QueryService, ShardedGeoSocialEngine
+from repro.datasets.synthetic import build_dataset
+from repro.server import ServerClient, ServerThread
+from repro.server.errors import classify_exception
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("error-parity", n=120, avg_degree=5.0, coverage=0.7, seed=5)
+
+
+@pytest.fixture(scope="module")
+def engine(dataset) -> GeoSocialEngine:
+    return GeoSocialEngine.from_dataset(dataset, num_landmarks=4, s=5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sharded(dataset):
+    engine = ShardedGeoSocialEngine.from_dataset(dataset, n_shards=2, num_landmarks=4, s=5, seed=1)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def service(engine):
+    with QueryService(engine, cache_size=0) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def handle(service):
+    with ServerThread(service, workers=2) as h:
+        yield h
+
+
+@pytest.fixture()
+def client(handle):
+    with ServerClient(handle.host, handle.port) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def located(engine) -> int:
+    return sorted(engine.locations.located_users())[0]
+
+
+@pytest.fixture(scope="module")
+def unlocated(engine) -> int:
+    return next(u for u in range(engine.graph.n) if not engine.locations.get(u))
+
+
+CASES = [
+    # (case id, request params, expected wire type, message fragment)
+    ("k_zero", dict(k=0), "invalid_argument", "k must be >= 1"),
+    ("k_negative", dict(k=-3), "invalid_argument", "k must be >= 1"),
+    ("alpha_high", dict(k=5, alpha=2.0), "invalid_argument", "alpha must be in [0, 1]"),
+    ("alpha_low", dict(k=5, alpha=-0.5), "invalid_argument", "alpha must be in [0, 1]"),
+    ("bad_method", dict(k=5, method="warp"), "invalid_argument", "unknown method 'warp'"),
+]
+
+
+def _request_params(case_params: dict, user: int) -> dict:
+    body = {"user": user}
+    body.update(case_params)
+    return body
+
+
+@pytest.mark.parametrize("name,params,wire_type,fragment", CASES)
+def test_parameter_errors_agree_across_layers(
+    engine, sharded, service, client, located, name, params, wire_type, fragment
+):
+    messages = set()
+    for path in (engine.query, service.query, sharded.query):
+        with pytest.raises(ValueError) as excinfo:
+            path(located, **params)
+        messages.add(str(excinfo.value))
+        assert fragment in str(excinfo.value)
+    assert len(messages) == 1, f"in-process wordings diverge: {messages}"
+    (message,) = messages
+    status, _, body = client.request("POST", "/query", _request_params(params, located))
+    assert status == 400
+    assert body["error"]["type"] == wire_type
+    assert body["error"]["message"] == message
+    assert classify_exception(ValueError(message)) == (400, wire_type)
+
+
+def test_unknown_user_parity(engine, sharded, service, client):
+    ghost = engine.graph.n + 7
+    messages = set()
+    for path in (engine.query, service.query, sharded.query):
+        with pytest.raises(ValueError) as excinfo:
+            path(ghost, k=5)
+        messages.add(str(excinfo.value))
+    assert len(messages) == 1
+    (message,) = messages
+    assert "out of range" in message
+    status, _, body = client.request("POST", "/query", {"user": ghost, "k": 5})
+    assert (status, body["error"]["type"]) == (400, "unknown_user")
+    assert body["error"]["message"] == message
+    assert classify_exception(ValueError(message)) == (400, "unknown_user")
+
+
+def test_unlocated_user_parity(engine, sharded, service, client, unlocated):
+    messages = set()
+    for path in (engine.query, service.query, sharded.query):
+        with pytest.raises(ValueError) as excinfo:
+            path(unlocated, k=5, alpha=0.3)
+        messages.add(str(excinfo.value))
+    assert len(messages) == 1
+    (message,) = messages
+    assert "no known location" in message
+    status, _, body = client.request(
+        "POST", "/query", {"user": unlocated, "k": 5, "alpha": 0.3}
+    )
+    assert (status, body["error"]["type"]) == (400, "unlocated_user")
+    assert body["error"]["message"] == message
+    assert classify_exception(ValueError(message)) == (400, "unlocated_user")
+
+
+def test_unlocated_user_is_fine_social_only(engine, service, client, unlocated):
+    """``alpha == 1`` never consults the query user's location — all
+    layers must *accept* the query, symmetrically with the rejection."""
+    direct = engine.query(unlocated, k=5, alpha=1.0)
+    via_service = service.query(unlocated, k=5, alpha=1.0)
+    served = client.query(unlocated, k=5, alpha=1.0)
+    assert served["result"]["users"] == direct.users == via_service.result.users
+
+
+def test_batch_member_errors_do_not_poison_batch_mates(client, located, unlocated):
+    """A bad request coalesced or batched with good ones fails alone:
+    the good requests still return 200-equivalent entries.  (Batch
+    endpoint semantics: the whole batch is rejected with the first
+    member's error — per-member isolation applies to *coalesced
+    singles*, which ride separate HTTP requests.)"""
+    status, _, body = client.request(
+        "POST",
+        "/query/batch",
+        {"requests": [{"user": located}, {"user": unlocated}], "k": 5, "alpha": 0.3},
+    )
+    assert status == 400
+    assert body["error"]["type"] == "unlocated_user"
+    # the same pair as individual requests: one succeeds, one fails
+    ok = client.query(located, k=5, alpha=0.3)
+    assert ok["result"]["query_user"] == located
+    status, _, body = client.request(
+        "POST", "/query", {"user": unlocated, "k": 5, "alpha": 0.3}
+    )
+    assert (status, body["error"]["type"]) == (400, "unlocated_user")
+
+
+def test_server_never_hides_message_detail(client, located):
+    """The wire message is the library message verbatim — operators
+    debugging a 400 see exactly what an in-process caller would."""
+    status, _, body = client.request("POST", "/query", {"user": located, "k": "five"})
+    assert status == 400
+    assert body["error"]["type"] == "invalid_argument"
+    assert "'five'" in body["error"]["message"]

@@ -37,6 +37,7 @@ def test_examples_exist():
         "sharded_quickstart.py",
         "stream_quickstart.py",
         "store_quickstart.py",
+        "server_quickstart.py",
     } <= present
 
 
@@ -81,6 +82,14 @@ def test_sharded_quickstart_runs():
     assert "identical to the single engine: True" in out
     assert "cached before move: True, after move: False" in out
     assert "cumulative scatter stats" in out
+
+
+def test_server_quickstart_runs():
+    out = run_example("server_quickstart.py")
+    assert "HTTP answer identical to in-process engine.query: True" in out
+    assert "400 invalid_argument" in out
+    assert "['snapshot', 'delta']" in out
+    assert "drained cleanly: True" in out
 
 
 def test_store_quickstart_runs():
