@@ -22,7 +22,12 @@ time.
 """
 
 from repro.plan.cost import CostModel
-from repro.plan.features import FeatureBucket, QueryFeatures, extract_features
+from repro.plan.features import (
+    FeatureBucket,
+    QueryFeatures,
+    extract_features,
+    scatter_fanout,
+)
 from repro.plan.planner import (
     DEFAULT_CANDIDATES,
     AdaptivePlanner,
@@ -42,5 +47,6 @@ __all__ = [
     "QueryFeatures",
     "extract_features",
     "route_method",
+    "scatter_fanout",
     "static_choice",
 ]

@@ -13,7 +13,14 @@ The planner's cost estimates are keyed by a small discrete
   searchability effect of Watts–Dodds–Newman);
 - ``cell_density`` — the population of the query user's spatial index
   cell relative to the average nonempty cell (dense urban cells make
-  the spatial stream productive; sparse ones make it pop empty rings).
+  the spatial stream productive; sparse ones make it pop empty rings);
+- ``fanout`` — the number of nonempty shards a scatter query could fan
+  out across (1 on a single engine).  Scatter-gather pays a per-shard
+  coordination cost but parallelises across cores, so the same method
+  has genuinely different cost curves at different fan-outs — keying
+  the cost model on it lets ``method="auto"`` learn when scatter is
+  worth it instead of averaging one-shard and eight-shard economics
+  into a single estimate.
 
 Extraction is duck-typed over both engine kinds: a single
 :class:`~repro.core.engine.GeoSocialEngine` exposes its grid directly,
@@ -26,12 +33,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-#: ``(k_bucket, alpha_bucket, degree_bucket, density_bucket)``
+#: ``(k_bucket, alpha_bucket, degree_bucket, density_bucket,
+#: fanout_bucket)``
 FeatureBucket = tuple
 
 _K_EDGES = (10, 20, 40)
 _ALPHA_EDGES = (0.25, 0.5, 0.75)
 _DENSITY_EDGES = (0.5, 2.0, 8.0)
+_FANOUT_EDGES = (1, 2, 4)
 _MAX_DEGREE_BUCKET = 6
 
 
@@ -48,7 +57,10 @@ class QueryFeatures:
 
         >>> from repro.plan import QueryFeatures
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5).bucket()
-        (2, 1, 3, 1)
+        (2, 1, 3, 1, 0)
+        >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
+        ...               fanout=4).bucket()
+        (2, 1, 3, 1, 2)
     """
 
     k: int
@@ -57,6 +69,8 @@ class QueryFeatures:
     #: query-cell population / average nonempty-cell population
     #: (0.0 when the query user is unlocated or the grid is empty)
     cell_density: float
+    #: nonempty shards a scatter could fan out across (1 = unsharded)
+    fanout: int = 1
 
     def bucket(self) -> FeatureBucket:
         """Discretize into the cost model's key (small, stable arity)."""
@@ -65,6 +79,7 @@ class QueryFeatures:
             _bucketize(self.alpha, _ALPHA_EDGES),
             min(int(math.log2(self.degree + 1)), _MAX_DEGREE_BUCKET),
             _bucketize(self.cell_density, _DENSITY_EDGES),
+            _bucketize(self.fanout, _FANOUT_EDGES),
         )
 
 
@@ -100,6 +115,15 @@ def local_cell_density(engine, user: int) -> float:
     return population * nonempty / indexed
 
 
+def scatter_fanout(engine) -> int:
+    """Number of nonempty shards a scatter query fans out across
+    (``1`` on a single engine — there is nothing to scatter)."""
+    bounds = getattr(engine, "_bounds", None)
+    if not bounds:
+        return 1
+    return max(1, sum(1 for b in bounds.values() if b.count > 0))
+
+
 def extract_features(engine, user: int, k: int, alpha: float) -> QueryFeatures:
     """O(1) feature extraction against either engine kind (never
     raises for unlocated users — the searcher surfaces that error)."""
@@ -108,4 +132,5 @@ def extract_features(engine, user: int, k: int, alpha: float) -> QueryFeatures:
         alpha=alpha,
         degree=engine.graph.degree(user),
         cell_density=local_cell_density(engine, user),
+        fanout=scatter_fanout(engine),
     )

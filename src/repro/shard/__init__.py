@@ -16,12 +16,22 @@ Layout:
 - :mod:`repro.shard.bounds` — per-shard pruning envelopes (member
   bounding box + social summary, Theorem 1 lifted to the partition);
 - :mod:`repro.shard.engine` — :class:`ShardedGeoSocialEngine`, the
-  scatter-gather coordinator with the single-engine API.
+  scatter-gather coordinator with the single-engine API;
+- :mod:`repro.shard.journal` — the bounded location-delta journal that
+  keeps forked workers coherent across update epochs;
+- :mod:`repro.shard.parallel` — :class:`ProcessScatterPool`, the warm
+  multi-core backend (pinned shard workers, delta shipping, overlapped
+  scatter-merge, read replicas, crash respawn).
 """
 
 from repro.shard.bounds import ShardBounds
 from repro.shard.engine import DELEGATED_METHODS, ScatterStats, ShardedGeoSocialEngine
-from repro.shard.parallel import ProcessScatterPool
+from repro.shard.journal import DeltaJournal, LocationDelta
+from repro.shard.parallel import (
+    PoolClosedError,
+    ProcessScatterPool,
+    resolve_scatter_backend,
+)
 from repro.shard.partitioner import (
     GridPartitioner,
     KDTreePartitioner,
@@ -34,6 +44,10 @@ __all__ = [
     "ScatterStats",
     "ShardBounds",
     "ProcessScatterPool",
+    "PoolClosedError",
+    "DeltaJournal",
+    "LocationDelta",
+    "resolve_scatter_backend",
     "Partitioner",
     "GridPartitioner",
     "KDTreePartitioner",

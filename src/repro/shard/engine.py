@@ -70,6 +70,7 @@ from repro.core.stats import SearchStats
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
 from repro.shard.bounds import ShardBounds
+from repro.shard.journal import DeltaJournal, LocationDelta
 from repro.shard.partitioner import Partitioner, make_partitioner
 from repro.spatial.point import LocationTable
 from repro.topk.merge import merge_topk
@@ -179,6 +180,24 @@ class ShardedGeoSocialEngine:
         never mixes backends, and :meth:`with_graph` rebuilds (hence
         :meth:`~repro.service.QueryService.rebuild_engine`) preserve
         the resolved choice.
+    scatter_backend:
+        Scatter *execution* backend: ``"inline"`` (threads in this
+        process), ``"process"`` (the warm
+        :class:`~repro.shard.parallel.ProcessScatterPool` of pinned,
+        delta-synced fork workers — the production path on real
+        cores), or ``"auto"`` (default: process where it can win —
+        ``fork`` available, ≥2 cores, ≥2 shards, and at least
+        :data:`~repro.shard.parallel.AUTO_MIN_USERS` located users —
+        inline otherwise).  Overridable via the
+        ``REPRO_SCATTER_BACKEND`` environment variable.  Results are
+        bit-identical either way.
+    replicas:
+        Worker processes per shard group under the process backend
+        (read replicas, round-robin dispatch, delta-stream coherence).
+    journal_capacity:
+        Bounded length of the location-delta journal that keeps warm
+        workers coherent; a worker whose epoch falls off the ring
+        re-forks instead of replaying.
     """
 
     def __init__(
@@ -200,6 +219,9 @@ class ShardedGeoSocialEngine:
         landmarks: LandmarkIndex | None = None,
         backend: "str | Kernels" = "auto",
         planner: "AdaptivePlanner | None" = None,
+        scatter_backend: str = "auto",
+        replicas: int = 1,
+        journal_capacity: int = 8192,
         _shard_indexes: dict | None = None,
     ) -> None:
         if len(locations) != graph.n:
@@ -286,8 +308,23 @@ class ShardedGeoSocialEngine:
         self.scatter = ScatterStats()
         self._scatter_lock = threading.Lock()
         #: bumped by every location update; process-scatter pools use it
-        #: to detect stale forked snapshots and re-fork
+        #: to detect stale forked snapshots and delta-sync (or re-fork)
         self.update_epoch = 0
+        #: replayable log of applied location updates — what keeps the
+        #: warm process pool coherent without re-forking (delta shipping)
+        self._journal = DeltaJournal(journal_capacity)
+        #: requested scatter backend ("inline" | "process" | "auto",
+        #: env-overridable via REPRO_SCATTER_BACKEND) and its resolution
+        from repro.shard.parallel import resolve_scatter_backend
+
+        self.scatter_backend = scatter_backend
+        self.replicas = replicas
+        self._scatter_backend_resolved = resolve_scatter_backend(
+            scatter_backend,
+            n_shards=self.partitioner.n_shards,
+            located=locations.n_located,
+        )
+        self._scatter_pool = None
         self._location_listeners: list[Callable[[int, float | None, float | None], None]] = []
         self._pool = TaskPool(self.max_workers, thread_name_prefix="ssrq-shard")
         self._services: dict[int | None, object] = {}
@@ -462,6 +499,37 @@ class ShardedGeoSocialEngine:
         candidates.sort()
         return candidates
 
+    def _process_pool(self):
+        """The lazily-forked warm worker pool, or ``None`` when the
+        resolved scatter backend is in-process.  An explicit
+        ``scatter_backend="process"`` on a platform without ``fork``
+        degrades to the inline scatter with a warning rather than
+        failing queries."""
+        if self._scatter_backend_resolved != "process":
+            return None
+        pool = self._scatter_pool
+        if pool is not None:
+            return pool
+        with self._build_lock:
+            if self._scatter_pool is None and self._scatter_backend_resolved == "process":
+                from repro.shard.parallel import ProcessScatterPool
+
+                try:
+                    self._scatter_pool = ProcessScatterPool(
+                        self, replicas=self.replicas
+                    )
+                except (RuntimeError, OSError) as exc:
+                    import warnings
+
+                    warnings.warn(
+                        f"process scatter backend unavailable ({exc}); "
+                        "falling back to the in-process scatter",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._scatter_backend_resolved = "inline"
+            return self._scatter_pool
+
     def _record_scatter(self, queries: int, considered: int, searched: int) -> None:
         with self._scatter_lock:
             self.scatter.scatter_queries += queries
@@ -471,6 +539,16 @@ class ShardedGeoSocialEngine:
     def _scatter_query(
         self, user: int, k: int, alpha: float, method: str, t: int | None
     ) -> SSRQResult:
+        pool = self._process_pool()
+        if pool is not None:
+            from repro.shard.parallel import PoolClosedError
+
+            try:
+                return pool.scatter_one(user, k, alpha, method, t)
+            except PoolClosedError:
+                # Closed under us (engine close / rebuild swap): the
+                # in-process scatter below still answers correctly.
+                pass
         start = time.perf_counter()
         candidates = self._scatter_plan(user, alpha, method)
         if candidates is None:
@@ -550,6 +628,26 @@ class ShardedGeoSocialEngine:
         with self._scatter_lock:
             return self.scatter.snapshot()
 
+    def scatter_backend_info(self) -> dict:
+        """Execution-backend introspection: the resolved scatter
+        backend, the delta journal's state, and — once the warm pool
+        has forked — its lifetime counters (forks, re-forks, respawns,
+        shipped deltas)."""
+        info = {
+            "requested": self.scatter_backend,
+            "resolved": self._scatter_backend_resolved,
+            "replicas": self.replicas,
+            "journal": {
+                "capacity": self._journal.capacity,
+                "appended": self._journal.appended,
+                "latest_epoch": self._journal.latest_epoch,
+            },
+        }
+        pool = self._scatter_pool
+        if pool is not None:
+            info["pool"] = pool.info()
+        return info
+
     # -- dynamic locations ---------------------------------------------
 
     def add_location_listener(
@@ -602,6 +700,9 @@ class ShardedGeoSocialEngine:
                     self._bounds[new_sid].add_member(x, y, self.landmarks.vector(user))
                 self._owner[user] = new_sid
             self.update_epoch += 1
+            self._journal.append(
+                LocationDelta(self.update_epoch, user, x, y, old_sid, new_sid)
+            )
             # Snapshot: listeners may detach concurrently (see the
             # single engine's move_user).
             for listener in list(self._location_listeners):
@@ -619,8 +720,62 @@ class ShardedGeoSocialEngine:
             self._bounds[old_sid].remove_member()
             self.locations.clear(user)
             self.update_epoch += 1
+            self._journal.append(
+                LocationDelta(self.update_epoch, user, None, None, old_sid, None)
+            )
             for listener in list(self._location_listeners):
                 listener(user, None, None)
+
+    def _replay_delta(self, delta: LocationDelta, pinned=None) -> None:
+        """Apply one journal record to this engine copy (worker-side).
+
+        Forked scatter workers call this to catch a copy-on-write
+        engine snapshot up with the coordinator: the *global* state a
+        search can observe for any user — the shared location table and
+        the ownership map — is always applied, while per-shard index
+        maintenance is restricted to ``pinned`` shards (the worker's
+        affinity group; ``None`` pins everything).  Records must be
+        replayed in journal order; each transition then mirrors what
+        :meth:`move_user`/:meth:`forget_location` did on the
+        coordinator, so a pinned shard's indexes end up bit-identical
+        to the coordinator's.  Runs lock-free: workers are
+        single-threaded and their engine copy is private.
+        """
+        user = delta.user
+        if delta.x is None:
+            if self.locations.has_location(user):
+                self.locations.clear(user)
+            self._owner.pop(user, None)
+            if delta.old_sid is not None and (pinned is None or delta.old_sid in pinned):
+                engine = self._engines.get(delta.old_sid)
+                if engine is not None:
+                    engine._index_remove(user)
+                    self._bounds[delta.old_sid].remove_member()
+        else:
+            x, y = delta.x, delta.y
+            self.locations.set(user, x, y)
+            old_sid, new_sid = delta.old_sid, delta.new_sid
+            self._owner[user] = new_sid
+            if old_sid == new_sid and old_sid is not None:
+                if pinned is None or new_sid in pinned:
+                    self._engines[new_sid]._index_move(user, x, y)
+                    self._bounds[new_sid].update_member(x, y)
+            else:
+                if old_sid is not None and (pinned is None or old_sid in pinned):
+                    engine = self._engines.get(old_sid)
+                    if engine is not None:
+                        engine._index_remove(user)
+                        self._bounds[old_sid].remove_member()
+                if pinned is None or new_sid in pinned:
+                    engine = self._engines.get(new_sid)
+                    if engine is None:
+                        self._build_shard(new_sid, {user})
+                    else:
+                        engine._index_insert(user, x, y)
+                        self._bounds[new_sid].add_member(
+                            x, y, self.landmarks.vector(user)
+                        )
+        self.update_epoch = delta.epoch
 
     def refresh_bounds(self) -> None:
         """Recompute every shard's pruning envelope exactly (tightens
@@ -659,6 +814,13 @@ class ShardedGeoSocialEngine:
             backend=self.kernels,
             # live planner: learned costs keep steering method="auto"
             planner=self._planner,
+            # requested (not resolved) scatter backend: the rebuilt
+            # engine re-resolves against its own data size/cores and
+            # forks a fresh pool — the rebuild swap IS the re-fork
+            # point of the delta-shipping cost model
+            scatter_backend=self.scatter_backend,
+            replicas=self.replicas,
+            journal_capacity=self._journal.capacity,
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)
@@ -702,6 +864,11 @@ class ShardedGeoSocialEngine:
         path once the pool is gone — so closing the swapped-out engine
         after :meth:`~repro.service.QueryService.rebuild_engine` (which
         calls this automatically) never breaks a straggling holder."""
+        pool = self._scatter_pool
+        self._scatter_pool = None
+        self._scatter_backend_resolved = "inline"
+        if pool is not None:
+            pool.close()
         self._pool.close()
         _close_cached_services(self)
 

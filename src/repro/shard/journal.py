@@ -1,0 +1,117 @@
+"""Location-delta journal: the warm-pool coherence log.
+
+Every location update applied through
+:class:`~repro.shard.ShardedGeoSocialEngine` appends one compact
+:class:`LocationDelta` record here (inside the engine's exclusive
+lock, after the epoch bump).  Long-lived scatter workers —
+:class:`~repro.shard.ProcessScatterPool` replicas forked at some past
+epoch — catch up by *replaying* the suffix of this journal instead of
+being torn down and re-forked: the coordinator ships
+``journal.since(worker_epoch)`` down the worker's task pipe, and the
+worker folds each record through the same index primitives
+(``_index_insert`` / ``_index_remove`` / ``_index_move``) the
+coordinator's own ``move_user`` used, filtered to the shards the
+worker is pinned to.
+
+Each record carries the shard routing (``old_sid``/``new_sid``)
+pre-computed at append time, so replaying requires no partitioner or
+ownership lookup on the worker — application is O(1) dict/grid work
+per record per worker.
+
+The journal is a bounded ring: when a worker's epoch has fallen off
+the tail, :meth:`DeltaJournal.since` returns ``None`` and the caller
+must re-fork (the re-fork cost model: replay costs O(deltas) cheap
+index ops but keeps warm searcher caches; fork costs a process spawn
+plus copy-on-write faults and loses every lazily-built searcher, so
+replay wins until the suffix grows past a budget — see
+``ProcessScatterPool``).
+
+    >>> from repro.shard.journal import DeltaJournal, LocationDelta
+    >>> journal = DeltaJournal(capacity=2)
+    >>> journal.append(LocationDelta(1, 7, 0.1, 0.2, None, 0))
+    >>> journal.append(LocationDelta(2, 8, None, None, 1, None))
+    >>> [d.user for d in journal.since(1)]
+    [8]
+    >>> journal.append(LocationDelta(3, 9, 0.5, 0.5, 0, 0))
+    >>> journal.since(0) is None        # epoch 1 fell off the ring
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LocationDelta:
+    """One applied location update, in replayable form.
+
+    ``x is None`` encodes a forgotten location (``forget_location``);
+    otherwise the record is a move/insert.  ``old_sid``/``new_sid``
+    are the owning shards before/after the update (``None`` when the
+    user was/became unlocated), computed by the coordinator so workers
+    replay by label instead of re-partitioning.
+    """
+
+    #: the engine's ``update_epoch`` value *after* this update applied
+    epoch: int
+    user: int
+    x: float | None
+    y: float | None
+    old_sid: int | None
+    new_sid: int | None
+
+
+class DeltaJournal:
+    """Bounded, thread-safe log of :class:`LocationDelta` records.
+
+    Appends happen under the engine's exclusive lock (one writer), but
+    reads (:meth:`since`) come from pool coordinators on arbitrary
+    threads, so the journal takes its own small lock around the ring.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError(f"journal capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[LocationDelta] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: total records ever appended (monotonic, survives truncation)
+        self.appended = 0
+
+    def append(self, delta: LocationDelta) -> None:
+        with self._lock:
+            self._ring.append(delta)
+            self.appended += 1
+
+    @property
+    def latest_epoch(self) -> int:
+        """Epoch of the newest record (0 when empty)."""
+        with self._lock:
+            return self._ring[-1].epoch if self._ring else 0
+
+    def since(self, epoch: int) -> "list[LocationDelta] | None":
+        """Every record with ``delta.epoch > epoch`` in apply order, or
+        ``None`` when records that old have been truncated off the ring
+        (the caller's snapshot is unrecoverably stale — re-fork)."""
+        with self._lock:
+            if not self._ring or self._ring[-1].epoch <= epoch:
+                # Nothing newer.  A caller at (or past) the newest
+                # recorded epoch is coherent even if older records
+                # were truncated.
+                return []
+            if self._ring[0].epoch > epoch + 1:
+                return None  # the suffix starting at epoch+1 is gone
+            return [d for d in self._ring if d.epoch > epoch]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            lo = self._ring[0].epoch if self._ring else 0
+            hi = self._ring[-1].epoch if self._ring else 0
+        return f"DeltaJournal(capacity={self.capacity}, epochs=[{lo}, {hi}], appended={self.appended})"

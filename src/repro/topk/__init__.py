@@ -13,7 +13,10 @@ smaller aggregate scores are better):
 - :class:`~repro.topk.quick_combine.QuickCombinePolicy` — the
   probe-scheduling heuristic that TSA-QC plugs into the twofold search;
 - :func:`~repro.topk.merge.merge_topk` — exact-score stream
-  combination (the scatter-gather combiner of the sharded engine).
+  combination (the scatter-gather combiner of the sharded engine);
+- :class:`~repro.topk.merge.StreamingCombine` — its incremental form
+  (fold streams as they complete, NRA-style strict-``>`` admission),
+  driving the overlapped scatter-merge of the process pool.
 
 TSA (Section 4.2) is a TA/NRA hybrid: sorted+random access in the
 spatial domain, sorted-only in the social domain.  These standalone
@@ -22,7 +25,7 @@ against brute force.
 """
 
 from repro.topk.ca import combined_algorithm
-from repro.topk.merge import merge_topk
+from repro.topk.merge import StreamingCombine, merge_topk
 from repro.topk.nra import no_random_access
 from repro.topk.quick_combine import QuickCombinePolicy
 from repro.topk.sources import SortedSource
@@ -34,5 +37,6 @@ __all__ = [
     "no_random_access",
     "combined_algorithm",
     "QuickCombinePolicy",
+    "StreamingCombine",
     "merge_topk",
 ]

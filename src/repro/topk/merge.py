@@ -21,6 +21,76 @@ from typing import Iterable
 from repro.core.result import Neighbor, TopKBuffer
 
 
+class StreamingCombine:
+    """Incremental NRA-style fold of per-shard candidate streams.
+
+    Where :func:`merge_topk` barriers on every stream being complete,
+    this combine folds streams **as they arrive** and exposes the two
+    primitives an overlapped scatter-merge loop needs:
+
+    - :meth:`fold` — absorb one completed shard stream into the interim
+      result ``R`` (the paper's threshold-algorithm state, here a
+      :class:`~repro.core.result.TopKBuffer`);
+    - :meth:`admits` — the NRA termination test specialised to exact
+      scores: a pending source (shard) whose score lower bound
+      *strictly* exceeds the current threshold ``f_k`` can never place
+      a member in the final top-k, not even on a tie-break, so it can
+      be pruned before (or while) it runs.  Because shard scores are
+      exact, each source's lower bound equals its upper bound and the
+      NRA bookkeeping collapses to this single comparison — which is
+      precisely the sharded engine's strict-``>`` exactness argument,
+      so folding streams in *completion* order (not bound order) still
+      reproduces the single-engine ranking bit-for-bit: the buffer's
+      final content is order-independent and pruning only ever discards
+      provably non-contributing sources.
+
+        >>> from repro.core.result import Neighbor
+        >>> from repro.topk.merge import StreamingCombine
+        >>> combine = StreamingCombine(k=2)
+        >>> combine.admits(0.0)            # nothing merged yet: f_k = inf
+        True
+        >>> combine.fold([Neighbor(1, 0.2, 0.1, 0.3), Neighbor(5, 0.6, 0.5, 0.7)])
+        >>> combine.admits(0.6), combine.admits(0.7)
+        (True, False)
+        >>> combine.fold([Neighbor(2, 0.4, 0.3, 0.5)])
+        >>> [nb.user for nb in combine.result().neighbors()]
+        [1, 2]
+    """
+
+    def __init__(self, k: int, initial: "TopKBuffer | None" = None) -> None:
+        self._buffer = initial if initial is not None else TopKBuffer(k)
+        #: streams folded so far
+        self.folded = 0
+
+    @property
+    def fk(self) -> float:
+        """Current k-th best score (``inf`` until the buffer fills)."""
+        return self._buffer.fk
+
+    def admits(self, bound: float) -> bool:
+        """``True`` when a source with this score lower bound could
+        still contribute to the final top-k (strict-``>`` test)."""
+        return not bound > self._buffer.fk
+
+    def fold(self, stream: Iterable[Neighbor]) -> None:
+        """Absorb one completed candidate stream."""
+        for nb in stream:
+            self._buffer.offer(nb.user, nb.score, nb.social, nb.spatial)
+        self.folded += 1
+
+    def warm(self) -> "list[tuple[int, float, float, float]]":
+        """The interim result as plain tuples — the warm-start payload
+        shipped to later shard searches for threshold propagation."""
+        return [
+            (nb.user, nb.score, nb.social, nb.spatial)
+            for nb in self._buffer.neighbors()
+        ]
+
+    def result(self) -> TopKBuffer:
+        """The interim (or, once all streams folded, final) buffer."""
+        return self._buffer
+
+
 def merge_topk(k: int, streams: Iterable[Iterable[Neighbor]]) -> TopKBuffer:
     """Merge ranked candidate streams into one top-``k`` buffer.
 

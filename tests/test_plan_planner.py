@@ -70,16 +70,30 @@ class TestRules:
 class TestFeatures:
     def test_bucket_is_small_and_stable(self):
         f = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
-        assert f.bucket() == (2, 1, 3, 1)
+        assert f.bucket() == (2, 1, 3, 1, 0)
         assert QueryFeatures(k=1, alpha=0.01, degree=0, cell_density=0.0).bucket() == (
+            0,
             0,
             0,
             0,
             0,
         )
         # buckets saturate instead of growing unboundedly
-        huge = QueryFeatures(k=10**6, alpha=0.99, degree=10**9, cell_density=1e9)
-        assert huge.bucket() == (3, 3, 6, 3)
+        huge = QueryFeatures(
+            k=10**6, alpha=0.99, degree=10**9, cell_density=1e9, fanout=10**3
+        )
+        assert huge.bucket() == (3, 3, 6, 3, 3)
+
+    def test_fanout_feature_separates_sharded_costs(self):
+        """The same query features at different shard fan-outs must key
+        different cost-model buckets — that is what lets auto learn
+        scatter economics separately from single-engine economics."""
+        base = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
+        sharded = QueryFeatures(
+            k=30, alpha=0.3, degree=12, cell_density=1.5, fanout=4
+        )
+        assert base.bucket() != sharded.bucket()
+        assert base.bucket()[:4] == sharded.bucket()[:4]
 
     def test_extract_features_single_engine(self, engine):
         user = next(iter(engine.locations.located_users()))

@@ -239,7 +239,8 @@ def test_parallel_scatter_matches_sequential_scatter():
 
 def test_process_scatter_pool_matches_inline():
     """The fork-based multi-core backend returns the same rankings as
-    the in-process scatter (snapshot semantics + epoch refresh)."""
+    the in-process scatter, across update epochs (delta shipping keeps
+    the warm workers coherent instead of re-forking them)."""
     from repro.shard import ProcessScatterPool
 
     graph, locations = random_instance(50, seed=17, coverage=0.9)
@@ -253,12 +254,14 @@ def test_process_scatter_pool_matches_inline():
         want = [sharded.query(u, k=5, alpha=0.3, method="ais") for u in batch]
         for g, w in zip(got, want):
             assert g.users == w.users
-        # location update bumps the epoch; the pool re-forks and serves
-        # the new placement
+        # location update bumps the epoch; the delta ships to the live
+        # workers and the pool serves the new placement without a fork
         mover = located[0]
         sharded.move_user(mover, 0.5, 0.5)
         refreshed = pool.query_many([located[1]], k=5, alpha=0.3)[0]
         assert refreshed.users == sharded.query(located[1], k=5, alpha=0.3).users
+        assert pool.info()["reforks"] == 0
+        assert pool.info()["deltas_shipped"] > 0
     sharded.close()
 
 
