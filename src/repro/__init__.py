@@ -57,6 +57,7 @@ from repro.service.cache import ResultCache
 from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
 from repro.shard.engine import ShardedGeoSocialEngine
+from repro.sketch import ApproxSketchSearch, SketchIndex
 from repro.spatial.point import BBox, LocationTable
 from repro.store import (
     SnapshotManager,
@@ -68,7 +69,7 @@ from repro.store import (
 from repro.stream.registry import SubscriptionRegistry
 from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +94,9 @@ __all__ = [
     "SocialNeighborCache",
     "CachedSocialFirst",
     "BruteForceSearch",
+    # bounded-error sketch fast path (method="approx")
+    "SketchIndex",
+    "ApproxSketchSearch",
     # query model
     "Normalization",
     "RankingFunction",

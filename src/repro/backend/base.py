@@ -82,6 +82,22 @@ class Kernels(Protocol):
         contribute 0)."""
         ...
 
+    def alt_upper_bounds(
+        self, landmarks: "LandmarkIndex", query_vector: Sequence[float], ids
+    ) -> Sequence[float]:
+        """Per-user ALT upper bounds ``p̂(v_q, v_i) = min_j (m_qj + m_ij)``
+        over the landmark tables (``inf`` when no landmark reaches both
+        sides) — the batched form of
+        :meth:`~repro.graph.landmarks.LandmarkIndex.upper_bound`."""
+        ...
+
+    def interval_midpoints(self, lower, upper) -> tuple:
+        """``(estimate, halfwidth)`` columns for per-user distance
+        intervals ``[lower, upper]``: the midpoint ``lo + (hi − lo)/2``
+        and its certified error radius ``(hi − lo)/2``.  An infinite
+        upper bound (no finite certificate) yields ``inf`` for both."""
+        ...
+
     def blend(
         self, w_social: float, w_spatial: float, social, spatial
     ) -> Sequence[float]:
@@ -177,6 +193,32 @@ class PythonKernels:
                     best = diff
             append(best)
         return out
+
+    def alt_upper_bounds(self, landmarks, query_vector, ids):
+        rows = landmarks.dist
+        out = []
+        append = out.append
+        for u in ids:
+            best = INF
+            for j, mqj in enumerate(query_vector):
+                s = mqj + rows[j][u]
+                if s < best:
+                    best = s
+            append(best)
+        return out
+
+    def interval_midpoints(self, lower, upper):
+        est = []
+        half = []
+        for lo, hi in zip(lower, upper):
+            if hi == INF:
+                est.append(INF)
+                half.append(INF)
+            else:
+                h = (hi - lo) * 0.5
+                est.append(lo + h)
+                half.append(h)
+        return est, half
 
     def blend(self, w_social, w_spatial, social, spatial):
         if w_social == 0.0:

@@ -64,6 +64,34 @@ class NumpyKernels:
         diff[np.isnan(diff)] = 0.0
         return diff.max(axis=0)
 
+    def alt_upper_bounds(self, landmarks, query_vector, ids):
+        matrix = landmarks.matrix
+        if matrix is None:  # pragma: no cover - numpy-less LandmarkIndex
+            raise RuntimeError(
+                "NumpyKernels needs a LandmarkIndex with a materialised "
+                "matrix (NumPy was unavailable when it was built)"
+            )
+        ids = np.asarray(ids, dtype=np.intp)
+        if matrix.shape[0] == 0:
+            return np.full(ids.shape[0], INF)
+        q = np.asarray(query_vector, dtype=np.float64)
+        # inf + anything = inf, never NaN — a landmark that misses
+        # either side simply proposes an infinite (useless) bound.
+        return (q[:, None] + matrix[:, ids]).min(axis=0)
+
+    def interval_midpoints(self, lower, upper):
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        # inf − inf = NaN where both bounds are infinite; the unreachable
+        # mask overwrites those lanes with the scalar contract's inf.
+        with np.errstate(invalid="ignore"):
+            half = (upper - lower) * 0.5
+            est = lower + half
+        unreachable = np.isinf(upper)
+        half[unreachable] = INF
+        est[unreachable] = INF
+        return est, half
+
     def blend(self, w_social, w_spatial, social, spatial):
         # Zero-weight terms contribute exactly 0 even at inf (the
         # RankingFunction contract); gating on the scalar weight keeps

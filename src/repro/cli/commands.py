@@ -67,6 +67,37 @@ def _fail(err: Exception) -> "click.ClickException":
     return click.ClickException(str(err))
 
 
+def _parse_k(raw) -> int:
+    """``k`` with the engine's error-wording contract.
+
+    The option is taken as a raw string so a malformed value fails with
+    the same ``invalid_argument`` wording the engine and the HTTP layer
+    use — not click's own type error (which would exit 2 with different
+    text and break CLI/server error parity)."""
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise click.ClickException(f"k must be an integer, got {raw!r}") from None
+
+
+def _parse_alpha(raw) -> float:
+    """``alpha`` with the engine's wording (``float("nan")`` parses —
+    the engine's range check rejects it with its own pinned message)."""
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise click.ClickException(f"alpha must be a number, got {raw!r}") from None
+
+
+def _parse_budget(raw) -> "float | None":
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise click.ClickException(f"budget must be a number, got {raw!r}") from None
+
+
 def _result_rows(result: dict) -> "list[dict]":
     return [
         dict(rank=i, **neighbor)
@@ -108,28 +139,42 @@ def load(out: str, dataset: str, n: int, seed: int) -> None:
               help="Saved engine (directory) to query locally.")
 @click.option("--server", "server_address", metavar="HOST:PORT",
               help="Running server to query instead.")
-@click.option("-k", type=int, default=10, show_default=True, help="Result size.")
-@click.option("--alpha", type=float, default=0.3, show_default=True,
+@click.option("-k", type=str, default="10", show_default=True, help="Result size.")
+@click.option("--alpha", type=str, default="0.3", show_default=True,
               help="Social/spatial preference in [0, 1].")
 @click.option("--method", default="ais", show_default=True, help="Search method.")
 @click.option("-t", type=int, default=None, help="Cached-list length (ais-cache).")
+@click.option("--budget", type=str, default=None,
+              help="Accuracy budget in [0, 1] (unset/0: exact; positive values "
+                   "let method=auto answer from the sketch fast path).")
 @format_option
-def query(user, engine_path, server_address, k, alpha, method, t, fmt) -> None:
+def query(user, engine_path, server_address, k, alpha, method, t, budget, fmt) -> None:
     """Run one SSRQ for USER and print the ranked neighbours."""
     if (engine_path is None) == (server_address is None):
         raise click.UsageError("pass exactly one of --engine or --server")
+    k = _parse_k(k)
+    alpha = _parse_alpha(alpha)
+    budget = _parse_budget(budget)
     try:
         if server_address is not None:
             with _client(server_address) as client:
-                payload = client.query(user, k=k, alpha=alpha, method=method, t=t)
+                payload = client.query(
+                    user, k=k, alpha=alpha, method=method, t=t, budget=budget
+                )
             result = payload["result"]
         else:
             engine = GeoSocialEngine.load(engine_path)
-            result_obj = engine.query(user, k=k, alpha=alpha, method=method, t=t)
+            result_obj = engine.query(
+                user, k=k, alpha=alpha, method=method, t=t, budget=budget
+            )
             from repro.service.model import result_payload
 
             result = result_payload(result_obj)
-    except (ServerApiError, ValueError, ConnectionError) as err:
+    except ServerApiError as err:
+        # the wire body carries the engine's message verbatim; show that
+        # (not the "[status code]" repr) so CLI output matches a local run
+        raise click.ClickException(err.message) from err
+    except (ValueError, ConnectionError) as err:
         raise _fail(err) from err
     click.echo(format_output(_result_rows(result), QUERY_COLUMNS, fmt))
 

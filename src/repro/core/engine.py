@@ -21,6 +21,7 @@ Methods (paper names):
 ``ais-nosummary`` ablation: AIS without social summaries
 ``sfa-ch`` / ``spa-ch`` / ``tsa-ch``  CH-backed distance module (Fig. 8)
 ``ais-cache``     pre-computed social lists + AIS fallback (Fig. 11)
+``approx``        bounded-error sketch fast path (:mod:`repro.sketch`)
 ``bruteforce``    exact reference scan
 ``auto``          cost-based adaptive selection (:mod:`repro.plan`)
 ================  ====================================================
@@ -55,10 +56,12 @@ from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
 from repro.index.aggregate import AggregateIndex
 from repro.plan.rules import AUTO, route_method
+from repro.sketch.index import SketchIndex
+from repro.sketch.searcher import ApproxSketchSearch
 from repro.spatial.grid import UniformGrid
 from repro.spatial.point import LocationTable
 from repro.utils.concurrency import ReadWriteLock
-from repro.utils.validation import check_alpha, check_user
+from repro.utils.validation import check_alpha, check_budget, check_k, check_user
 
 if TYPE_CHECKING:
     from repro.plan.planner import AdaptivePlanner
@@ -86,6 +89,7 @@ METHODS = (
     "spa-ch",
     "tsa-ch",
     "ais-cache",
+    "approx",
     "bruteforce",
 )
 
@@ -109,6 +113,7 @@ def _service_backed_query_many(
     method: str,
     t: int | None,
     max_workers: int | None,
+    budget: float | None = None,
 ) -> list[SSRQResult]:
     """Shared implementation behind ``query_many`` on both engine kinds:
     a cache-disabled :class:`~repro.service.QueryService` per requested
@@ -122,7 +127,9 @@ def _service_backed_query_many(
         if service is None:
             service = QueryService(engine, cache_size=0, max_workers=max_workers)
             engine._services[max_workers] = service
-    responses = service.query_many(requests, k=k, alpha=alpha, method=method, t=t)
+    responses = service.query_many(
+        requests, k=k, alpha=alpha, method=method, t=t, budget=budget
+    )
     return [response.result for response in responses]
 
 
@@ -140,7 +147,7 @@ def _close_cached_services(engine) -> None:
 # table, so endpoint behavior is identical everywhere.
 
 
-def resolve_dispatch(engine, user, k, alpha, method, t=None):
+def resolve_dispatch(engine, user, k, alpha, method, t=None, budget=None):
     """``(resolved_method, decision)`` for one query — the single
     source of the resolution contract.  ``"auto"`` consults the
     engine's planner (``decision`` carries the feature bucket for the
@@ -148,13 +155,20 @@ def resolve_dispatch(engine, user, k, alpha, method, t=None):
     and take the static endpoint routing (``decision is None``).  Both
     engine kinds and the service layer dispatch through this one
     function, so the contract cannot drift between paths.
+
+    ``budget`` is the per-query accuracy budget: ``None``/``0`` means
+    exactness required (``auto`` only considers
+    :data:`FORWARD_DETERMINISTIC_METHODS` candidates), a positive value
+    lets the planner offer ``"approx"`` when the sketch's empirical
+    error estimate fits it.  An *explicit* ``method="approx"`` is an
+    opt-in regardless of budget.
     """
     if method == AUTO:
         # Validate before feature extraction: an out-of-range user
         # must surface the engine's ValueError contract, not an
         # IndexError from the planner's degree/location lookups.
         check_user(user, engine.graph.n)
-        decision = engine.planner.resolve(engine, user, k, alpha, method, t)
+        decision = engine.planner.resolve(engine, user, k, alpha, method, t, budget=budget)
         return decision.method, decision
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -239,6 +253,7 @@ class GeoSocialEngine:
         planner: "AdaptivePlanner | None" = None,
         grid: UniformGrid | None = None,
         aggregate: AggregateIndex | None = None,
+        sketch: SketchIndex | None = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -280,6 +295,10 @@ class GeoSocialEngine:
             if aggregate is not None
             else AggregateIndex.build(locations, self.landmarks, s, users=members)
         )
+        #: the social-distance sketch behind ``method="approx"`` (built
+        #: lazily on first approx query; injectable — the store's
+        #: restore path adopts persisted sketch columns here)
+        self._sketch: SketchIndex | None = sketch
         self._searchers: dict[str, object] = {}
         #: the ``method="auto"`` resolver (lazily built on first use;
         #: injectable for custom candidate sets / exploration rates,
@@ -332,6 +351,18 @@ class GeoSocialEngine:
                     self._ch_oracle = CHOracle(self.contraction_hierarchy)
         return self._ch_oracle
 
+    @property
+    def sketch(self) -> SketchIndex:
+        """The social-distance sketch (built on first use; required only
+        by ``method="approx"`` and the planner's budget gate)."""
+        if self._sketch is None:
+            with self._build_lock:
+                if self._sketch is None:
+                    self._sketch = SketchIndex.build(
+                        self.graph, self.landmarks, seed=self.seed, kernels=self.kernels
+                    )
+        return self._sketch
+
     def neighbor_cache(self, t: int) -> SocialNeighborCache:
         """The ``t``-nearest social neighbour cache (Figure 11)."""
         cache = self._caches.get(t)
@@ -363,15 +394,22 @@ class GeoSocialEngine:
         self._planner = planner
 
     def resolve_method(
-        self, user: int, k: int = 30, alpha: float = 0.3, method: str = AUTO, t: int | None = None
+        self,
+        user: int,
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = AUTO,
+        t: int | None = None,
+        budget: float | None = None,
     ) -> str:
         """The concrete method one query dispatches to: static endpoint
         routing for explicit methods, the adaptive planner for
-        ``"auto"``.  The service layer keys its result cache on this
-        resolution, and the stream layer classifies repairability off
-        it — so screening and repairs always see the method that
-        actually ran."""
-        return resolve_dispatch(self, user, k, alpha, method, t)[0]
+        ``"auto"`` (which may resolve to ``"approx"`` only when
+        ``budget`` admits it).  The service layer keys its result cache
+        on this resolution, and the stream layer classifies
+        repairability off it — so screening and repairs always see the
+        method that actually ran."""
+        return resolve_dispatch(self, user, k, alpha, method, t, budget=budget)[0]
 
     def searcher(self, method: str, t: int | None = None):
         """The query-processor object behind ``method`` (cached)."""
@@ -451,6 +489,8 @@ class GeoSocialEngine:
                 graph, locations, self.grid, norm,
                 landmarks=self.landmarks, point_to_point=self._oracle(), kernels=kernels,
             )
+        if method == "approx":
+            return ApproxSketchSearch(graph, locations, norm, self.sketch, kernels=kernels)
         if method == "bruteforce":
             return BruteForceSearch(graph, locations, norm, kernels=kernels)
         raise AssertionError(f"unhandled method {method!r}")
@@ -463,6 +503,7 @@ class GeoSocialEngine:
         method: str = "ais",
         t: int | None = None,
         *,
+        budget: float | None = None,
         initial: "TopKBuffer | None" = None,
     ) -> SSRQResult:
         """Answer one SSRQ: the top-``k`` users by
@@ -480,10 +521,18 @@ class GeoSocialEngine:
         fixed method's (all of them implement Definition 1 with the
         shared tie-break).  The executed method is recorded on
         ``result.method`` either way.
+
+        ``budget`` (default ``None``: exact) caps the acceptable score
+        error of an ``auto`` resolution: with a positive budget the
+        planner may pick ``method="approx"``, whose certified error
+        bound lands on ``result.error_bound``.  ``budget=0`` or unset
+        keeps ``auto`` bit-identical to the exact families.
         """
         check_user(user, self.graph.n)
+        check_k(k)
         check_alpha(alpha)
-        resolved, decision = resolve_dispatch(self, user, k, alpha, method, t)
+        check_budget(budget)
+        resolved, decision = resolve_dispatch(self, user, k, alpha, method, t, budget=budget)
         if initial is not None:
             result = self.searcher(resolved, t=t).search(user, k, alpha, initial=initial)
         else:
@@ -530,6 +579,7 @@ class GeoSocialEngine:
         method: str = "ais",
         t: int | None = None,
         max_workers: int | None = None,
+        budget: float | None = None,
     ) -> list[SSRQResult]:
         """Answer a heterogeneous batch of SSRQs concurrently.
 
@@ -548,7 +598,7 @@ class GeoSocialEngine:
         different widths never tear down each other's pools.
         """
         return _service_backed_query_many(
-            self, requests, k, alpha, method, t, max_workers
+            self, requests, k, alpha, method, t, max_workers, budget=budget
         )
 
     def close(self) -> None:

@@ -143,6 +143,11 @@ class SSRQResult:
     #: directly); for ``method="auto"`` requests this is the planner's
     #: per-query resolution
     method: str | None = None
+    #: certified score-error bound of an approximate result: every
+    #: reported neighbour's true ``f`` is within this distance of its
+    #: reported score.  ``None`` for exact methods (no error, no bound);
+    #: ``0.0`` is a *certified-exact* approx answer.
+    error_bound: float | None = None
 
     @property
     def users(self) -> list[int]:

@@ -26,6 +26,14 @@ import threading
 
 from repro.plan.features import FeatureBucket
 
+#: floor applied to every observed cost.  Coarse clocks (Windows'
+#: ~15 ms ``perf_counter`` granularity, patched timers in tests) can
+#: report an elapsed time of exactly 0.0; folding that in verbatim
+#: would drive a method's EWMA to a value no real observation can ever
+#: beat, freezing ``min()`` on it forever.  One nanosecond is far below
+#: any real query cost, so flooring never changes a meaningful ranking.
+_MIN_COST = 1e-9
+
 
 class _Ewma:
     """Exponentially-weighted mean with an observation count."""
@@ -81,7 +89,12 @@ class CostModel:
         return (bucket[1], method)
 
     def observe(self, bucket: FeatureBucket, method: str, cost: float) -> None:
-        """Fold one measured query cost into all three levels."""
+        """Fold one measured query cost into all three levels.
+
+        Costs are floored to :data:`_MIN_COST` so a zero-elapsed
+        measurement cannot produce an unbeatable 0.0 estimate.
+        """
+        cost = max(float(cost), _MIN_COST)
         decay = self.decay
         with self._lock:
             for table, key in (

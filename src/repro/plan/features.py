@@ -20,7 +20,12 @@ The planner's cost estimates are keyed by a small discrete
   has genuinely different cost curves at different fan-outs — keying
   the cost model on it lets ``method="auto"`` learn when scatter is
   worth it instead of averaging one-shard and eight-shard economics
-  into a single estimate.
+  into a single estimate;
+- ``budget`` — the query's accuracy budget (``None``/``0`` = exact
+  required).  Budgeted and exact traffic have different candidate sets
+  (only budgeted buckets may resolve to the sketch fast path), so
+  mixing them under one bucket would let approx's cheap observations
+  poison the estimates exact queries rely on.
 
 Extraction is duck-typed over both engine kinds: a single
 :class:`~repro.core.engine.GeoSocialEngine` exposes its grid directly,
@@ -34,13 +39,17 @@ import math
 from dataclasses import dataclass
 
 #: ``(k_bucket, alpha_bucket, degree_bucket, density_bucket,
-#: fanout_bucket)``
+#: fanout_bucket, budget_bucket)`` — the budget dimension is appended
+#: last so positional consumers of the older dimensions (the cost
+#: model's alpha-marginal keys on ``bucket[1]``) stay valid
 FeatureBucket = tuple
 
 _K_EDGES = (10, 20, 40)
 _ALPHA_EDGES = (0.25, 0.5, 0.75)
 _DENSITY_EDGES = (0.5, 2.0, 8.0)
 _FANOUT_EDGES = (1, 2, 4)
+#: bucket 0 is exactly the exact-required regime (``budget <= 0``)
+_BUDGET_EDGES = (0.0, 0.02, 0.2)
 _MAX_DEGREE_BUCKET = 6
 
 
@@ -57,10 +66,13 @@ class QueryFeatures:
 
         >>> from repro.plan import QueryFeatures
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5).bucket()
-        (2, 1, 3, 1, 0)
+        (2, 1, 3, 1, 0, 0)
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
         ...               fanout=4).bucket()
-        (2, 1, 3, 1, 2)
+        (2, 1, 3, 1, 2, 0)
+        >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
+        ...               budget=0.05).bucket()
+        (2, 1, 3, 1, 0, 2)
     """
 
     k: int
@@ -71,6 +83,8 @@ class QueryFeatures:
     cell_density: float
     #: nonempty shards a scatter could fan out across (1 = unsharded)
     fanout: int = 1
+    #: per-query accuracy budget (``None`` ≡ ``0.0`` ≡ exact required)
+    budget: float | None = None
 
     def bucket(self) -> FeatureBucket:
         """Discretize into the cost model's key (small, stable arity)."""
@@ -80,6 +94,7 @@ class QueryFeatures:
             min(int(math.log2(self.degree + 1)), _MAX_DEGREE_BUCKET),
             _bucketize(self.cell_density, _DENSITY_EDGES),
             _bucketize(self.fanout, _FANOUT_EDGES),
+            _bucketize(self.budget if self.budget is not None else 0.0, _BUDGET_EDGES),
         )
 
 
@@ -124,7 +139,9 @@ def scatter_fanout(engine) -> int:
     return max(1, sum(1 for b in bounds.values() if b.count > 0))
 
 
-def extract_features(engine, user: int, k: int, alpha: float) -> QueryFeatures:
+def extract_features(
+    engine, user: int, k: int, alpha: float, budget: float | None = None
+) -> QueryFeatures:
     """O(1) feature extraction against either engine kind (never
     raises for unlocated users — the searcher surfaces that error)."""
     return QueryFeatures(
@@ -133,4 +150,5 @@ def extract_features(engine, user: int, k: int, alpha: float) -> QueryFeatures:
         degree=engine.graph.degree(user),
         cell_density=local_cell_density(engine, user),
         fanout=scatter_fanout(engine),
+        budget=budget,
     )

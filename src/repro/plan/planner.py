@@ -49,6 +49,8 @@ from repro.plan.cost import CostModel
 from repro.plan.features import FeatureBucket, extract_features
 from repro.plan.rules import AUTO, route_method, static_choice
 
+_TINY = 1e-300  # matches repro.core.ranking's division guard
+
 #: forward-deterministic searcher families the planner picks among by
 #: default: one per cost regime (social stream, spatial stream, twofold
 #: interleave, twofold with Quick Combine probing)
@@ -164,6 +166,12 @@ class AdaptivePlanner:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
         self.candidates = tuple(candidates)
+        # Exact-required buckets (budget unset/0) must always have a
+        # deterministic method to fall back on — "approx" alone is not
+        # a valid candidate set.
+        self._exact_candidates = tuple(m for m in self.candidates if m != "approx")
+        if not self._exact_candidates:
+            raise ValueError("need at least one exact (non-approx) candidate method")
         self.epsilon = epsilon
         self.cost = CostModel(decay)
         self.stats = PlannerStats()
@@ -183,11 +191,18 @@ class AdaptivePlanner:
         alpha: float,
         method: str = AUTO,
         t: int | None = None,
+        *,
+        budget: float | None = None,
     ) -> PlanDecision:
         """The concrete method to execute for one query.
 
         Explicit methods only pass through the static endpoint routing;
-        ``auto`` consults the rule layer, then the cost model.
+        ``auto`` consults the rule layer, then the cost model.  An
+        exact-required request (``budget`` unset or ``0``) only ever
+        resolves to the exact candidate set; a budgeted request may
+        additionally resolve to ``"approx"`` when the engine's sketch
+        certifies the budget for this query's social weight
+        (:meth:`repro.sketch.SketchIndex.admissible`).
         """
         if method != AUTO:
             return PlanDecision(
@@ -213,9 +228,10 @@ class AdaptivePlanner:
             return PlanDecision(method=static, requested=AUTO, bucket=None, auto=True)
         if not self._calibrated:
             self.calibrate(engine)
-        bucket = extract_features(engine, user, k, alpha).bucket()
+        candidates = self._candidates_for(engine, alpha, budget)
+        bucket = extract_features(engine, user, k, alpha, budget).bucket()
         with self._lock:
-            chosen, explored = self._choose_locked(bucket)
+            chosen, explored = self._choose_locked(bucket, candidates)
             self.stats.auto_resolutions += 1
             if explored:
                 self.stats.explorations += 1
@@ -227,8 +243,29 @@ class AdaptivePlanner:
     def _count(self, method: str) -> None:
         self.stats.per_method[method] = self.stats.per_method.get(method, 0) + 1
 
-    def _choose_locked(self, bucket: FeatureBucket) -> tuple[str, bool]:
-        estimates = [(m, self.cost.estimate(bucket, m)) for m in self.candidates]
+    def _candidates_for(self, engine, alpha: float, budget: float | None) -> tuple:
+        """The candidate set for one interior-alpha resolution: the
+        exact methods always; ``"approx"`` additionally iff the query
+        carries a positive budget the engine's sketch certifies for
+        this alpha's social weight."""
+        if budget is None or budget <= 0.0:
+            return self._exact_candidates
+        sketch = getattr(engine, "sketch", None)
+        if sketch is None:
+            return self._exact_candidates
+        w_social = alpha / max(engine.normalization.p_max, _TINY)
+        if not sketch.admissible(w_social, budget):
+            return self._exact_candidates
+        if "approx" in self.candidates:
+            return self.candidates
+        return self._exact_candidates + ("approx",)
+
+    def _choose_locked(
+        self, bucket: FeatureBucket, candidates: "tuple | None" = None
+    ) -> tuple[str, bool]:
+        if candidates is None:
+            candidates = self._exact_candidates
+        estimates = [(m, self.cost.estimate(bucket, m)) for m in candidates]
         unexplored = [m for m, est in estimates if est is None]
         if unexplored:
             # A never-observed candidate always goes first (canonical
@@ -237,7 +274,7 @@ class AdaptivePlanner:
             return unexplored[0], True
         rate = self.epsilon / (1.0 + self.cost.observations(bucket)) ** 0.5
         if rate > 0.0 and self._rng.random() < rate:
-            return self.candidates[self._rng.randrange(len(self.candidates))], True
+            return candidates[self._rng.randrange(len(candidates))], True
         best_method, _ = min(estimates, key=lambda pair: pair[1])
         return best_method, False
 

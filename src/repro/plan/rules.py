@@ -37,6 +37,9 @@ ALPHA0_ROUTE = {
     "sfa-ch": "spa-ch",
     "tsa-ch": "spa-ch",
     "ais-cache": "spa",
+    # a pure spatial query has no social term to approximate: the
+    # sketch answer degenerates to SPA's exact one, so route there
+    "approx": "spa",
 }
 
 #: at ``alpha == 1`` the spatial index is useless *and insufficient*:

@@ -539,6 +539,7 @@ class SSRQServer:
             "alpha": req.alpha,
             "method": req.method,
             "t": req.t,
+            "budget": req.budget,
         }
         return payload
 

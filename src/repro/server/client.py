@@ -143,11 +143,14 @@ class ServerClient:
         alpha: float = 0.3,
         method: str = "ais",
         t: "int | None" = None,
+        budget: "float | None" = None,
         deadline_ms: "float | None" = None,
     ) -> dict:
         body = {"user": user, "k": k, "alpha": alpha, "method": method}
         if t is not None:
             body["t"] = t
+        if budget is not None:
+            body["budget"] = budget
         return self.call(
             "POST", "/query", body, headers=self._deadline_headers(deadline_ms)
         )

@@ -28,8 +28,9 @@ def parse_batch(obj: dict) -> "tuple[list[dict], dict]":
         {"requests": [{"user": 1}, {"user": 2, "k": 5}],
          "k": 10, "alpha": 0.5, "method": "auto"}
 
-    Top-level ``k``/``alpha``/``method``/``t`` act as defaults for the
-    per-request objects, mirroring ``QueryService.query_many``.
+    Top-level ``k``/``alpha``/``method``/``t``/``budget`` act as
+    defaults for the per-request objects, mirroring
+    ``QueryService.query_many``.
     """
     requests = obj.get("requests")
     if not isinstance(requests, list) or not requests:
@@ -37,7 +38,7 @@ def parse_batch(obj: dict) -> "tuple[list[dict], dict]":
             400, INVALID_ARGUMENT, "batch body needs a non-empty 'requests' array"
         )
     defaults = {
-        key: obj[key] for key in ("k", "alpha", "method", "t") if key in obj
+        key: obj[key] for key in ("k", "alpha", "method", "t", "budget") if key in obj
     }
     return requests, defaults
 

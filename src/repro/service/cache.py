@@ -65,13 +65,17 @@ from repro.core.result import Neighbor, SSRQResult
 
 INF = math.inf
 
-#: cache key layout: (user, k, alpha, method, t, normalization token)
+#: cache key layout: (user, k, alpha, method, t, normalization token,
+#: budget) — the accuracy budget is appended last so shorter (older or
+#: foreign) key shapes keep failing the ``len(key) <= _KEY_NORM``
+#: guards conservatively
 CacheKey = tuple
 
 _KEY_K = 1
 _KEY_ALPHA = 2
 _KEY_METHOD = 3
 _KEY_NORM = 5
+_KEY_BUDGET = 6
 
 
 def _key_alpha(key: CacheKey) -> float | None:
@@ -383,7 +387,11 @@ class ResultCache:
             return False  # foreign key shape: evict conservatively
         method, norm = key[_KEY_METHOD], key[_KEY_NORM]
         if method not in FORWARD_DETERMINISTIC_METHODS:
-            return False  # e.g. AIS: scores are schedule-dependent
+            # e.g. AIS (scores are schedule-dependent) or approx (the
+            # stored social term is a sketch midpoint, not the exact
+            # distance — re-scoring from it would compound error past
+            # the recorded bound): recompute on the next miss instead.
+            return False
         if not (isinstance(norm, tuple) and len(norm) == 2):
             return False
         result = self._entries.get(key)

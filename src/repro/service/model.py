@@ -2,7 +2,8 @@
 
 The service layer speaks in small immutable dataclasses rather than
 positional arguments: a :class:`QueryRequest` carries everything one
-SSRQ needs (user, ``k``, ``α``, method, ``t``), a :class:`QueryResponse`
+SSRQ needs (user, ``k``, ``α``, method, ``t``, accuracy ``budget``), a
+:class:`QueryResponse`
 pairs the request with its :class:`~repro.core.result.SSRQResult` and
 serving metadata (was it a cache hit? how long did it take?), and
 :class:`ServiceStats` aggregates latency and cache behaviour across the
@@ -19,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.result import Neighbor, SSRQResult
 from repro.core.stats import SearchStats
+from repro.utils.validation import check_budget
 
 
 def neighbor_payload(nb: Neighbor) -> dict:
@@ -45,6 +47,7 @@ def result_payload(result: SSRQResult) -> dict:
         "k": result.k,
         "alpha": result.alpha,
         "method": result.method,
+        "error_bound": result.error_bound,
         "users": result.users,
         "neighbors": [neighbor_payload(nb) for nb in result.neighbors],
     }
@@ -59,7 +62,7 @@ class QueryRequest:
 
         >>> from repro.service import QueryRequest
         >>> QueryRequest(user=42, k=10, alpha=0.3, method="ais")
-        QueryRequest(user=42, k=10, alpha=0.3, method='ais', t=None)
+        QueryRequest(user=42, k=10, alpha=0.3, method='ais', t=None, budget=None)
         >>> QueryRequest.coerce(42, k=10) == QueryRequest(42, k=10)
         True
     """
@@ -70,12 +73,21 @@ class QueryRequest:
     method: str = "ais"
     #: cached-list length for ``ais-cache`` (``None``: engine default)
     t: int | None = None
+    #: per-query accuracy budget (``None``/``0``: exact required)
+    budget: float | None = None
 
     def __post_init__(self) -> None:
+        # same wordings as repro.utils.validation — the error-parity
+        # suite pins that every layer rejects identically
+        if isinstance(self.k, bool) or not isinstance(self.k, int):
+            raise ValueError(f"k must be an integer, got {self.k!r}")
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
+        if isinstance(self.alpha, bool) or not isinstance(self.alpha, (int, float)):
+            raise ValueError(f"alpha must be a number, got {self.alpha!r}")
         if not 0.0 <= self.alpha <= 1.0 or math.isnan(self.alpha):
-            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha!r}")
+        object.__setattr__(self, "budget", check_budget(self.budget))
 
     @classmethod
     def coerce(
@@ -85,6 +97,7 @@ class QueryRequest:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        budget: float | None = None,
     ) -> "QueryRequest":
         """Normalise a workload item: a plain user id takes the given
         defaults, an existing request passes through unchanged."""
@@ -92,7 +105,7 @@ class QueryRequest:
             return item
         if isinstance(item, bool) or not isinstance(item, int):
             raise TypeError(f"expected a user id or QueryRequest, got {item!r}")
-        return cls(item, k=k, alpha=alpha, method=method, t=t)
+        return cls(item, k=k, alpha=alpha, method=method, t=t, budget=budget)
 
     @classmethod
     def from_payload(
@@ -103,6 +116,7 @@ class QueryRequest:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        budget: float | None = None,
     ) -> "QueryRequest":
         """Build a request from a plain dict (the wire shape), with
         defaults for omitted fields.  Raises ``ValueError`` with the
@@ -111,7 +125,7 @@ class QueryRequest:
 
             >>> from repro.service import QueryRequest
             >>> QueryRequest.from_payload({"user": 3, "k": 5})
-            QueryRequest(user=3, k=5, alpha=0.3, method='ais', t=None)
+            QueryRequest(user=3, k=5, alpha=0.3, method='ais', t=None, budget=None)
         """
         if not isinstance(obj, dict):
             raise ValueError(f"expected a request object, got {obj!r}")
@@ -132,7 +146,15 @@ class QueryRequest:
         t_val = obj.get("t", t)
         if t_val is not None and (isinstance(t_val, bool) or not isinstance(t_val, int)):
             raise ValueError(f"t must be an integer or null, got {t_val!r}")
-        return cls(user, k=k_val, alpha=float(alpha_val), method=method_val, t=t_val)
+        budget_val = check_budget(obj.get("budget", budget))
+        return cls(
+            user,
+            k=k_val,
+            alpha=float(alpha_val),
+            method=method_val,
+            t=t_val,
+            budget=budget_val,
+        )
 
 
 @dataclass(frozen=True)

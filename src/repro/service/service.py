@@ -194,7 +194,13 @@ class QueryService:
         planner's concrete pick).  Repair-awareness and the screening
         bounds therefore always classify the method that actually
         produced the stored result — and endpoint aliases (``tsa`` at
-        ``alpha == 0`` and ``spa``, …) share one line."""
+        ``alpha == 0`` and ``spa``, …) share one line.
+
+        The accuracy budget is part of the signature (appended last so
+        older positional consumers stay valid): a budgeted answer may
+        be approximate, so it must never satisfy an exact request with
+        otherwise identical parameters.  ``budget=0`` is normalised to
+        the unset form — both demand exactness, so they share a line."""
         norm = engine.normalization
         return (
             request.user,
@@ -203,6 +209,7 @@ class QueryService:
             resolved,
             request.t,
             (norm.p_max, norm.d_max),
+            request.budget or None,
         )
 
     def _resolve(self, request: QueryRequest, engine: GeoSocialEngine):
@@ -210,7 +217,13 @@ class QueryService:
         the planner is consulted (and later fed the measured latency)
         only for ``method="auto"``."""
         resolved, decision = resolve_dispatch(
-            engine, request.user, request.k, request.alpha, request.method, request.t
+            engine,
+            request.user,
+            request.k,
+            request.alpha,
+            request.method,
+            request.t,
+            budget=request.budget,
         )
         return resolved, decision, engine.planner if decision is not None else None
 
@@ -237,6 +250,7 @@ class QueryService:
             alpha=request.alpha,
             method=resolved,
             t=request.t,
+            budget=request.budget,
         )
         return result, time.perf_counter() - start
 
@@ -247,11 +261,14 @@ class QueryService:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        budget: float | None = None,
     ) -> QueryResponse:
         """Serve one SSRQ (cache-first); a plain user id takes the
         keyword defaults."""
         self._check_open()
-        req = QueryRequest.coerce(request, k=k, alpha=alpha, method=method, t=t)
+        req = QueryRequest.coerce(
+            request, k=k, alpha=alpha, method=method, t=t, budget=budget
+        )
         if req.method == AUTO:
             self._precalibrate_planner()
         with self._read_locked_engine() as engine:
@@ -282,6 +299,7 @@ class QueryService:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        budget: float | None = None,
     ) -> list[QueryResponse]:
         """Serve a batch: cache lookups, in-batch deduplication, then
         concurrent execution of the distinct remainder.
@@ -294,7 +312,7 @@ class QueryService:
         """
         self._check_open()
         reqs = [
-            QueryRequest.coerce(item, k=k, alpha=alpha, method=method, t=t)
+            QueryRequest.coerce(item, k=k, alpha=alpha, method=method, t=t, budget=budget)
             for item in requests
         ]
         responses: list[QueryResponse | None] = [None] * len(reqs)

@@ -75,7 +75,7 @@ from repro.shard.partitioner import Partitioner, make_partitioner
 from repro.spatial.point import LocationTable
 from repro.topk.merge import merge_topk
 from repro.utils.concurrency import ReadWriteLock, TaskPool
-from repro.utils.validation import check_alpha, check_user
+from repro.utils.validation import check_alpha, check_budget, check_k, check_user
 
 if TYPE_CHECKING:
     from repro.plan.planner import AdaptivePlanner
@@ -84,8 +84,9 @@ if TYPE_CHECKING:
 INF = math.inf
 
 #: methods answered by one shard engine (no spatial index involved:
-#: the shared graph and global location table make them globally exact)
-DELEGATED_METHODS = frozenset({"sfa", "sfa-ch", "bruteforce"})
+#: the shared graph and global location table make them globally exact;
+#: "approx" scores global columnar sketches, so it never scatters)
+DELEGATED_METHODS = frozenset({"sfa", "sfa-ch", "bruteforce", "approx"})
 
 
 @dataclass
@@ -435,14 +436,28 @@ class ShardedGeoSocialEngine:
     def planner(self, planner: "AdaptivePlanner") -> None:
         self._planner = planner
 
+    @property
+    def sketch(self):
+        """The shared social-distance sketch (lazily built by the
+        delegate shard engine over the shared graph, landmarks, and
+        kernels, so it is globally exact — the planner's budget gate
+        consults it at the coordinator, where ``"approx"`` resolves)."""
+        return self._delegate_engine().sketch
+
     def resolve_method(
-        self, user: int, k: int = 30, alpha: float = 0.3, method: str = AUTO, t: int | None = None
+        self,
+        user: int,
+        k: int = 30,
+        alpha: float = 0.3,
+        method: str = AUTO,
+        t: int | None = None,
+        budget: float | None = None,
     ) -> str:
         """The concrete method one query dispatches to (same contract
         as :meth:`GeoSocialEngine.resolve_method`): resolved **once**
         here at the coordinator, then propagated to every shard, so
         scatter-gather always merges identical-method partials."""
-        return resolve_dispatch(self, user, k, alpha, method, t)[0]
+        return resolve_dispatch(self, user, k, alpha, method, t, budget=budget)[0]
 
     def query(
         self,
@@ -451,6 +466,7 @@ class ShardedGeoSocialEngine:
         alpha: float = 0.3,
         method: str = "ais",
         t: int | None = None,
+        budget: float | None = None,
     ) -> SSRQResult:
         """Answer one SSRQ with rankings bit-identical to
         :meth:`GeoSocialEngine.query` on the same data.
@@ -458,10 +474,15 @@ class ShardedGeoSocialEngine:
         ``method="auto"`` is resolved exactly once here (one planner
         decision per query, fed back with the whole scatter-gather wall
         time), and the concrete resolution is what every searched shard
-        executes."""
+        executes.  ``budget`` is likewise resolved once at the
+        coordinator — an ``"approx"`` resolution takes the delegated
+        path below (global sketch, never scattered), so shards never
+        make their own exact-vs-approx choice."""
         check_user(user, self.graph.n)
+        check_k(k)
         check_alpha(alpha)
-        routed, decision = resolve_dispatch(self, user, k, alpha, method, t)
+        check_budget(budget)
+        routed, decision = resolve_dispatch(self, user, k, alpha, method, t, budget=budget)
         if routed in DELEGATED_METHODS:
             result = self._delegate_engine().query(user, k, alpha, routed, t=t)
             with self._scatter_lock:
@@ -615,12 +636,13 @@ class ShardedGeoSocialEngine:
         method: str = "ais",
         t: int | None = None,
         max_workers: int | None = None,
+        budget: float | None = None,
     ) -> list[SSRQResult]:
         """Service-backed batch execution, identical in contract to
         :meth:`GeoSocialEngine.query_many` (results in request order,
         rankings equal to a sequential :meth:`query` loop)."""
         return _service_backed_query_many(
-            self, requests, k, alpha, method, t, max_workers
+            self, requests, k, alpha, method, t, max_workers, budget=budget
         )
 
     def scatter_info(self) -> dict:

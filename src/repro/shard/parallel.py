@@ -352,9 +352,22 @@ class ProcessScatterPool:
 
     def _sync_locked(self, worker: _Worker) -> bool:
         """Ship the journal suffix to one worker; ``False`` means replay
-        is unavailable or over budget and the worker must re-fork."""
-        target = self.engine.update_epoch
-        if worker.synced_epoch >= target:
+        is unavailable or over budget and the worker must re-fork.
+
+        ``worker.synced_epoch`` only ever advances to the epoch of the
+        last record actually shipped.  It must *not* be marked up to
+        ``engine.update_epoch`` on an empty suffix: the update path
+        bumps the epoch and appends the journal record as two steps
+        under the engine's write lock, and this method reads the epoch
+        without that lock — marking the worker at an epoch whose record
+        it never received would make the in-flight delta invisible to
+        every later sync (the suffix query would start past it), leaving
+        the replica permanently stale.  A suffix of exactly
+        ``delta_budget`` records still ships (the cutoff is strictly
+        *over* budget — re-forking at the boundary would throw away a
+        replay that was explicitly budgeted for).
+        """
+        if worker.synced_epoch >= self.engine.update_epoch:
             return True
         journal = getattr(self.engine, "_journal", None)
         records = journal.since(worker.synced_epoch) if journal is not None else None
@@ -371,8 +384,7 @@ class ProcessScatterPool:
             except (BrokenPipeError, OSError):
                 return False  # worker died under us: re-fork it
             self._deltas_shipped += len(records)
-            target = max(target, records[-1].epoch)
-        worker.synced_epoch = target
+            worker.synced_epoch = records[-1].epoch
         return True
 
     def _ensure_workers(self) -> None:

@@ -1,0 +1,28 @@
+"""sketch — bounded-error SSRQ from precomputed social-distance sketches.
+
+The searchability thread in PAPERS.md (Watts–Dodds–Newman; Elsisy et
+al., "a partial knowledge of friends of friends speeds social search")
+says partial structural knowledge routes social search nearly as well
+as full knowledge.  This package exploits it:
+
+- :class:`SketchIndex` — a compact per-user sketch of the social
+  distance function: the exact lengths of all ≤2-hop paths (capped,
+  CSR-stored columnar arrays) plus the landmark-difference *interval*
+  ``[p̌, p̂]`` derived at query time from the existing
+  :class:`~repro.graph.landmarks.LandmarkIndex` matrix;
+- :class:`ApproxSketchSearch` — ``method="approx"``: scores every user
+  from the sketch midpoint instead of running a forward Dijkstra, and
+  certifies a per-query **score-error bound** (each reported
+  neighbour's true ``f`` is within ``error_bound`` of its reported
+  score) recorded on :attr:`~repro.core.result.SSRQResult.error_bound`.
+
+Both pieces run behind the :class:`~repro.backend.Kernels` protocol, so
+the python and numpy legs produce bit-identical approximate rankings —
+the differential suite (``tests/test_sketch.py``) pins the bound
+against the bruteforce oracle under both backends.
+"""
+
+from repro.sketch.index import SketchIndex
+from repro.sketch.searcher import ApproxSketchSearch
+
+__all__ = ["ApproxSketchSearch", "SketchIndex"]

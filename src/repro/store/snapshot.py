@@ -15,6 +15,10 @@ to disk is exactly the columnar data plane:
 ``grid_*``             grid cell arrays — one triple per engine (per
                        shard for the sharded kind), encoding cell
                        coordinates *and* in-cell insertion order
+``sketch_*``           optional social-distance sketch CSR columns
+                       (only when the engine has materialised one;
+                       older snapshots simply lack them and the sketch
+                       rebuilds lazily on first use)
 =====================  ================================================
 
 plus a manifest carrying the format version, the engine config (kind,
@@ -133,6 +137,26 @@ def _write_single(engine, tmp: Path) -> dict:
     config["index_users"] = (
         None if engine.index_users is None else sorted(int(u) for u in engine.index_users)
     )
+    # The social-distance sketch is persisted only once the engine has
+    # actually materialised one (it is expensive to build and optional
+    # to have): the section is additive, so snapshots without it load
+    # unchanged on every format-1 reader.
+    sketch = engine._sketch
+    if sketch is not None:
+        columns["sketch_indptr"] = write_column(
+            tmp, "sketch_indptr", _np.asarray(sketch.indptr, dtype=_np.int64)
+        )
+        columns["sketch_nbrs"] = write_column(
+            tmp, "sketch_nbrs", _np.asarray(sketch.nbrs, dtype=_np.int64)
+        )
+        columns["sketch_dists"] = write_column(
+            tmp, "sketch_dists", _np.asarray(sketch.dists, dtype=_np.float64)
+        )
+        config["sketch"] = {
+            "version": 1,
+            "max_entries": int(sketch.max_entries),
+            "empirical_half": float(sketch.empirical_half),
+        }
     return {"kind": "engine", "config": config, "columns": columns}
 
 
@@ -305,6 +329,39 @@ def _restore_indexes(path, manifest, prefix, bbox4, fanout, landmarks, locations
     return grid, aggregate
 
 
+def _load_sketch(path, manifest: dict, graph, landmarks, *, mmap: bool, verify: bool):
+    """The persisted sketch, or ``None`` when the snapshot predates the
+    sketch section.  Absence is *not* corruption — the engine rebuilds
+    its sketch lazily on first approx/budgeted use — but a half-present
+    section (columns without metadata, or inconsistent CSR shapes) is.
+    """
+    from repro.sketch.index import SketchIndex
+
+    if manifest["columns"].get("sketch_indptr") is None:
+        return None
+    meta = manifest["config"].get("sketch")
+    if not isinstance(meta, dict):
+        raise StoreCorruptionError(
+            f"snapshot at {path} stores sketch columns but no sketch "
+            "metadata section — the manifest is mutually inconsistent"
+        )
+    indptr = _column(path, manifest, "sketch_indptr", mmap=mmap, verify=verify)
+    nbrs = _column(path, manifest, "sketch_nbrs", mmap=mmap, verify=verify)
+    dists = _column(path, manifest, "sketch_dists", mmap=mmap, verify=verify)
+    try:
+        return SketchIndex.from_tables(
+            graph,
+            landmarks,
+            indptr,
+            nbrs,
+            dists,
+            max_entries=int(meta["max_entries"]),
+            empirical_half=float(meta["empirical_half"]),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise StoreCorruptionError(f"sketch columns are inconsistent: {err}") from err
+
+
 def _load_single(path, manifest: dict, *, mmap: bool, verify: bool):
     from repro.backend import resolve_stored_backend
     from repro.core.engine import GeoSocialEngine
@@ -319,6 +376,7 @@ def _load_single(path, manifest: dict, *, mmap: bool, verify: bool):
         verify=verify,
     )
     index_users = config.get("index_users")
+    sketch = _load_sketch(path, manifest, graph, landmarks, mmap=mmap, verify=verify)
     return GeoSocialEngine(
         graph,
         locations,
@@ -332,6 +390,7 @@ def _load_single(path, manifest: dict, *, mmap: bool, verify: bool):
         backend=resolve_stored_backend(config["backend"]),
         grid=grid,
         aggregate=aggregate,
+        sketch=sketch,
     )
 
 

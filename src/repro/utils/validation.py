@@ -2,12 +2,46 @@
 
 from __future__ import annotations
 
+import numbers as _numbers
+
 
 def check_alpha(alpha: float) -> float:
-    """Validate the social/spatial preference parameter ``alpha``."""
+    """Validate the social/spatial preference parameter ``alpha``.
+
+    Non-numbers get their own wording (the wire model raises the same
+    one), and NaN fails the chained range comparison.
+    """
+    if isinstance(alpha, bool) or not isinstance(alpha, _numbers.Real):
+        raise ValueError(f"alpha must be a number, got {alpha!r}")
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha!r}")
     return float(alpha)
+
+
+def check_k(k: int) -> int:
+    """Validate a result-set size ``k`` (the wording every layer pins:
+    the same messages ``TopKBuffer`` and the wire model raise).
+
+    NumPy integer scalars are accepted (ids often arrive off columnar
+    arrays); bools and non-integral values are not.
+    """
+    if isinstance(k, bool) or not isinstance(k, _numbers.Integral):
+        raise ValueError(f"k must be an integer, got {k!r}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return int(k)
+
+
+def check_budget(budget: float | None) -> float | None:
+    """Validate a per-query accuracy budget (``None`` means exact)."""
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+        raise ValueError(f"budget must be a number, got {budget!r}")
+    value = float(budget)
+    if not 0.0 <= value <= 1.0:  # NaN fails the chained comparison too
+        raise ValueError(f"budget must be in [0, 1], got {budget!r}")
+    return value
 
 
 def check_positive(name: str, value: float) -> float:

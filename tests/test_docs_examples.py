@@ -63,6 +63,8 @@ DOCUMENTED_MODULES = [
     "repro.shard.partitioner",
     "repro.shard.bounds",
     "repro.shard.parallel",
+    "repro.sketch.index",
+    "repro.sketch.searcher",
     "repro.store",
     "repro.store.format",
     "repro.store.snapshot",

@@ -76,7 +76,15 @@ CASES = [
     ("k_negative", dict(k=-3), "invalid_argument", "k must be >= 1"),
     ("alpha_high", dict(k=5, alpha=2.0), "invalid_argument", "alpha must be in [0, 1]"),
     ("alpha_low", dict(k=5, alpha=-0.5), "invalid_argument", "alpha must be in [0, 1]"),
+    ("alpha_nan", dict(k=5, alpha=float("nan")), "invalid_argument",
+     "alpha must be in [0, 1], got nan"),
     ("bad_method", dict(k=5, method="warp"), "invalid_argument", "unknown method 'warp'"),
+    ("budget_high", dict(k=5, budget=1.5), "invalid_argument",
+     "budget must be in [0, 1]"),
+    ("budget_negative", dict(k=5, budget=-0.1), "invalid_argument",
+     "budget must be in [0, 1]"),
+    ("budget_nan", dict(k=5, budget=float("nan")), "invalid_argument",
+     "budget must be in [0, 1], got nan"),
 ]
 
 
@@ -176,3 +184,66 @@ def test_server_never_hides_message_detail(client, located):
     assert status == 400
     assert body["error"]["type"] == "invalid_argument"
     assert "'five'" in body["error"]["message"]
+
+
+def test_non_numeric_alpha_parity(engine, sharded, service, client, located):
+    """A non-numeric alpha is rejected with the *number* wording (not a
+    TypeError traceback) identically on every in-process path, and the
+    wire model uses the same message for a string alpha in JSON."""
+    messages = set()
+    for path in (engine.query, service.query, sharded.query):
+        with pytest.raises(ValueError) as excinfo:
+            path(located, k=5, alpha="lots")
+        messages.add(str(excinfo.value))
+    assert messages == {"alpha must be a number, got 'lots'"}
+    status, _, body = client.request(
+        "POST", "/query", {"user": located, "k": 5, "alpha": "lots"}
+    )
+    assert (status, body["error"]["type"]) == (400, "invalid_argument")
+    assert body["error"]["message"] == "alpha must be a number, got 'lots'"
+
+
+# -- CLI parity (satellite: `repro query` maps malformed k/alpha/budget
+# -- to the engine's wording, exit code 1, no stack trace) -------------
+
+CLI_CASES = [
+    # (case id, extra argv, the engine's pinned message)
+    ("k_word", ["-k", "five"], "k must be an integer, got 'five'"),
+    ("k_zero", ["-k", "0"], "k must be >= 1, got 0"),
+    ("alpha_word", ["--alpha", "lots"], "alpha must be a number, got 'lots'"),
+    ("alpha_nan", ["--alpha", "nan"], "alpha must be in [0, 1], got nan"),
+    ("alpha_high", ["--alpha", "2.5"], "alpha must be in [0, 1], got 2.5"),
+    ("budget_word", ["--budget", "much"], "budget must be a number, got 'much'"),
+    ("budget_high", ["--budget", "1.5"], "budget must be in [0, 1], got 1.5"),
+]
+
+
+@pytest.fixture(scope="module")
+def engine_dir(engine, tmp_path_factory) -> str:
+    return str(engine.save(tmp_path_factory.mktemp("parity") / "engine.store"))
+
+
+@pytest.fixture(scope="module")
+def cli_runner():
+    pytest.importorskip("click", reason="the CLI is an optional extra")
+    from click.testing import CliRunner
+
+    return CliRunner()
+
+
+@pytest.mark.parametrize("name,argv,message", CLI_CASES)
+def test_cli_malformed_parameters_match_engine_wording(
+    cli_runner, engine_dir, handle, located, name, argv, message
+):
+    """`repro query` rejects malformed k/alpha/budget with exactly the
+    engine's message — locally and through --server — as a clean
+    exit-1 error, never a click usage error or a traceback."""
+    from repro.cli.commands import cli
+
+    address = f"{handle.host}:{handle.port}"
+    for target in (["--engine", engine_dir], ["--server", address]):
+        result = cli_runner.invoke(cli, ["query", str(located), *target, *argv])
+        assert result.exit_code == 1, result.output
+        assert message in result.output
+        assert "Traceback" not in result.output
+        assert "Usage:" not in result.output

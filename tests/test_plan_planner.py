@@ -70,8 +70,9 @@ class TestRules:
 class TestFeatures:
     def test_bucket_is_small_and_stable(self):
         f = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
-        assert f.bucket() == (2, 1, 3, 1, 0)
+        assert f.bucket() == (2, 1, 3, 1, 0, 0)
         assert QueryFeatures(k=1, alpha=0.01, degree=0, cell_density=0.0).bucket() == (
+            0,
             0,
             0,
             0,
@@ -82,7 +83,20 @@ class TestFeatures:
         huge = QueryFeatures(
             k=10**6, alpha=0.99, degree=10**9, cell_density=1e9, fanout=10**3
         )
-        assert huge.bucket() == (3, 3, 6, 3, 3)
+        assert huge.bucket() == (3, 3, 6, 3, 3, 0)
+
+    def test_budget_feature_separates_exact_from_approx_regime(self):
+        """budget occupies the last bucket slot; unset and 0 land in
+        bucket 0 (the exact-required regime) so cost observations from
+        exact-only traffic never leak into budgeted buckets."""
+        base = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
+        zero = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5, budget=0.0)
+        budgeted = QueryFeatures(
+            k=30, alpha=0.3, degree=12, cell_density=1.5, budget=0.05
+        )
+        assert base.bucket() == zero.bucket()
+        assert budgeted.bucket() != base.bucket()
+        assert budgeted.bucket()[:5] == base.bucket()[:5]
 
     def test_fanout_feature_separates_sharded_costs(self):
         """The same query features at different shard fan-outs must key
@@ -152,6 +166,19 @@ class TestCostModel:
         with pytest.raises(ValueError):
             CostModel(decay=1.5)
 
+    def test_zero_cost_observation_is_floored(self):
+        """Satellite regression: a coarse clock can hand the model an
+        elapsed time of exactly 0.0; stored raw, that arm's estimate
+        would be an unbeatable min() forever.  The observation is
+        floored to a tiny positive cost the EWMA can move off of."""
+        model = CostModel(decay=0.5)
+        b = (0, 1, 0, 0, 0, 0)
+        model.observe(b, "spa", 0.0)
+        floored = model.estimate(b, "spa")
+        assert floored is not None and floored > 0.0
+        model.observe(b, "spa", 0.4)
+        assert model.estimate(b, "spa") == pytest.approx(0.2, rel=1e-6)
+
 
 # -- planner -----------------------------------------------------------
 
@@ -220,6 +247,80 @@ class TestPlanner:
             AdaptivePlanner(candidates=())
         with pytest.raises(ValueError):
             AdaptivePlanner(epsilon=1.5)
+        with pytest.raises(ValueError, match="exact"):
+            AdaptivePlanner(candidates=("approx",))
+
+    def test_cold_bucket_zero_cost_neither_starves_nor_freezes(self, engine):
+        """Satellite regression, planner level: one 0.0-elapsed
+        observation must not rob the never-observed candidates of their
+        exploration turn, and once the arm's real cost arrives the
+        floored artifact does not keep winning min()."""
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        bucket = extract_features(engine, user, 10, 0.5).bucket()
+        planner.cost.observe(bucket, "tsa", 0.0)  # coarse-clock artifact
+        resolved = set()
+        for _ in range(len(DEFAULT_CANDIDATES) - 1):
+            decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+            assert decision.explored, "unexplored arms must still go first"
+            resolved.add(decision.method)
+            planner.observe(decision, 0.5)
+        assert resolved == set(DEFAULT_CANDIDATES) - {"tsa"}
+        # greedy now picks the floored arm (cheapest estimate on record)
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+        assert decision.method == "tsa" and not decision.explored
+        # ... but its real cost moves the EWMA off the floor: the
+        # artifact does not freeze the arm as an eternal 0.0 winner
+        planner.observe(decision, 2.0)
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+        assert decision.method != "tsa"
+
+    def test_cost_tie_breaks_toward_canonical_candidate_order(self, engine):
+        """An exact cost tie resolves to the earliest candidate in
+        canonical order — deterministic, pinned."""
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        bucket = extract_features(engine, user, 10, 0.5).bucket()
+        for method in DEFAULT_CANDIDATES:
+            planner.cost.observe(bucket, method, 0.5)
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO)
+        assert decision.method == DEFAULT_CANDIDATES[0]
+        assert not decision.explored
+
+    def test_budget_gates_approx_into_the_candidate_set(self, engine):
+        """Exact-required resolutions (budget unset/0) never see
+        ``approx``; a budgeted resolution the sketch certifies adds it
+        (explored first like any cold arm, then greedily winnable)."""
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        bucket = extract_features(engine, user, 10, 0.5, 1.0).bucket()
+        for method in DEFAULT_CANDIDATES:
+            planner.cost.observe(bucket, method, 0.5)
+        # generous budget: the sketch certifies it; approx is the one
+        # cold arm left and gets its exploration turn
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO, budget=1.0)
+        assert decision.method == "approx" and decision.explored
+        planner.observe(decision, 0.01)
+        decision = planner.resolve(engine, user, 10, 0.5, AUTO, budget=1.0)
+        assert decision.method == "approx" and not decision.explored
+        # the exact-required form of the same query never resolves to it
+        for budget in (None, 0.0):
+            decision = planner.resolve(engine, user, 10, 0.5, AUTO, budget=budget)
+            assert decision.method in DEFAULT_CANDIDATES
+
+    def test_inadmissible_budget_strips_approx(self, engine):
+        """A positive budget smaller than the sketch's empirical error
+        estimate keeps the resolution exact-only."""
+        sketch = engine.sketch
+        w_social = 0.5 / engine.normalization.p_max
+        tiny = w_social * sketch.empirical_half / 2.0
+        assert not sketch.admissible(w_social, tiny)
+        planner = AdaptivePlanner(calibrate=False, epsilon=0.0)
+        user = next(iter(engine.locations.located_users()))
+        for _ in range(len(DEFAULT_CANDIDATES) + 2):
+            decision = planner.resolve(engine, user, 10, 0.5, AUTO, budget=tiny)
+            assert decision.method in DEFAULT_CANDIDATES
+            planner.observe(decision, 0.5)
 
     def test_exploration_rate_decays_with_evidence(self, engine):
         """After many observations in a bucket, exploration is rare:

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.plan",
     "repro.service",
     "repro.shard",
+    "repro.sketch",
     "repro.store",
     "repro.stream",
     "repro.utils",
@@ -29,7 +30,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.8.0"
+    assert repro.__version__ == "1.9.0"
 
 
 def test_all_exports_resolve():

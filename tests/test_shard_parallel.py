@@ -431,3 +431,71 @@ def test_journal_suffix_and_truncation():
     assert journal.appended == 5
     with pytest.raises(ValueError):
         DeltaJournal(capacity=0)
+
+
+def test_journal_wrap_boundary_is_truncation_not_empty_suffix():
+    """The capacity-boundary pins: with the ring wrapped to [4, 5, 6],
+    a worker synced at 3 gets a full replay (oldest retained record is
+    exactly the next epoch), a worker synced at 4 (the wrap landed
+    exactly on its synced epoch) gets the strict suffix, and a worker
+    synced at 2 — whose next record fell off — gets ``None``
+    (truncation ⇒ re-fork), never a silently empty suffix."""
+    journal = DeltaJournal(capacity=3)
+    for epoch in range(1, 7):
+        journal.append(LocationDelta(epoch, epoch, 0.1, 0.2, None, 0))
+    assert [d.epoch for d in journal.since(3)] == [4, 5, 6]
+    assert [d.epoch for d in journal.since(4)] == [5, 6]
+    assert journal.since(2) is None
+
+
+def test_suffix_of_exactly_delta_budget_ships_without_refork():
+    """A replay of exactly ``delta_budget`` records is within budget:
+    the cutoff is strictly *over* budget, so the boundary case must
+    ship as deltas, not spuriously re-fork."""
+    _, sharded = build_engines()
+    users = list(sharded.located_users())[:4]
+    with ProcessScatterPool(sharded, processes=2, delta_budget=2) as pool:
+        pool.warm_up()
+        for i in range(2):  # exactly the budget
+            sharded.move_user(users[0], 0.15 + 0.1 * i, 0.4)
+        assert_matches_inline(pool, sharded, users)
+        info = pool.info()
+        assert info["reforks"] == 0
+        assert info["cold_refork_rounds"] == 0
+        assert info["deltas_shipped"] > 0
+    sharded.close()
+
+
+def test_sync_never_marks_a_worker_ahead_of_shipped_records():
+    """The mark-ahead race: the update path bumps ``update_epoch`` and
+    appends the journal record as two steps under the engine write
+    lock, while the pool reads the epoch without it.  Catching a worker
+    in that window must leave ``synced_epoch`` untouched (no record was
+    shipped) — marking it up to the bumped epoch would make the
+    in-flight delta permanently invisible to later syncs.  Once the
+    append lands, the next sync ships it."""
+    _, sharded = build_engines()
+    users = list(sharded.located_users())[:4]
+    mover = users[0]
+    with ProcessScatterPool(sharded, processes=2) as pool:
+        pool.warm_up()
+        before = {key: w.synced_epoch for key, w in pool._workers.items()}
+        # step 1 of the update path, caught mid-flight: epoch bumped,
+        # record not yet appended
+        sharded.update_epoch += 1
+        pool._ensure_workers()
+        mid = {key: w.synced_epoch for key, w in pool._workers.items()}
+        assert mid == before, "empty suffix must not advance synced_epoch"
+        assert pool.info()["reforks"] == 0
+        # step 2 lands: a no-op move record for the bumped epoch
+        x, y = sharded.locations.get(mover)
+        sid = sharded.shard_of_user(mover)
+        sharded._journal.append(
+            LocationDelta(sharded.update_epoch, mover, x, y, sid, sid)
+        )
+        pool._ensure_workers()
+        after = {key: w.synced_epoch for key, w in pool._workers.items()}
+        assert all(e == sharded.update_epoch for e in after.values())
+        assert pool.info()["reforks"] == 0
+        assert_matches_inline(pool, sharded, users)
+    sharded.close()
