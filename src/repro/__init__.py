@@ -58,6 +58,7 @@ from repro.service.model import QueryRequest, QueryResponse, ServiceStats
 from repro.service.service import QueryService
 from repro.shard.engine import ShardedGeoSocialEngine
 from repro.sketch import ApproxSketchSearch, SketchIndex
+from repro.social import SocialCacheStats, SocialColumnCache
 from repro.spatial.point import BBox, LocationTable
 from repro.store import (
     SnapshotManager,
@@ -69,7 +70,7 @@ from repro.store import (
 from repro.stream.registry import SubscriptionRegistry
 from repro.stream.subscription import StreamStats, Subscription
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",
@@ -97,6 +98,9 @@ __all__ = [
     # bounded-error sketch fast path (method="approx")
     "SketchIndex",
     "ApproxSketchSearch",
+    # cross-query social-distance reuse
+    "SocialColumnCache",
+    "SocialCacheStats",
     # query model
     "Normalization",
     "RankingFunction",

@@ -14,6 +14,9 @@ made of, lifted from per-user scalar calls to whole candidate arrays:
                             :class:`~repro.core.ranking.RankingFunction`
 ``top_k_by_score``          smallest-``(score, id)`` selection with the
                             deterministic smaller-id tie-break
+``blend_topk_multi``        fused same-user batch scoring: several
+                            ``(k, α)`` variants answered from one pair
+                            of shared columns, one blend+top-k pass each
 ``nanbbox``                 coordinate envelope of a user batch
 ``summary_minmax``          per-landmark min/max over a user batch (the
                             ``(m̌, m̂)`` social-summary vectors)
@@ -111,6 +114,22 @@ class Kernels(Protocol):
         """Positions of the ``k`` smallest entries by ``(score, id)``
         (deterministic smaller-id tie-break), in ascending order;
         ``inf``/NaN scores never qualify."""
+        ...
+
+    def blend_topk_multi(
+        self, requests, social, spatial, exclude: int | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """Fused same-user batch scoring: for each ``(k, w_social,
+        w_spatial)`` request, ``blend`` the shared columns and select
+        the ``(score, id)``-smallest ``k`` — the columns are
+        materialised once and every request is one columnar pass.
+        Either column may be ``None`` when every request's matching
+        weight is 0 (``blend``'s zero-weight gate never reads it);
+        ``exclude`` is a position forced to ``inf`` first (the query
+        user).  Returns per request ``[(position, score), ...]`` in
+        ascending ``(score, id)`` order as plain Python values —
+        backend-independent, bit-identical to a per-request ``blend`` +
+        ``top_k_by_score``."""
         ...
 
     def nanbbox(self, xs, ys, ids=None) -> tuple[float, float, float, float] | None:
@@ -234,6 +253,17 @@ class PythonKernels:
             (s, ids[i], i) for i, s in enumerate(scores) if s == s and s != INF
         ]
         return [i for _, _, i in heapq.nsmallest(k, finite)]
+
+    def blend_topk_multi(self, requests, social, spatial, exclude=None):
+        n = len(social) if social is not None else len(spatial)
+        out = []
+        for k, w_social, w_spatial in requests:
+            scores = self.blend(w_social, w_spatial, social, spatial)
+            if exclude is not None:
+                scores[exclude] = INF  # blend output is fresh — never a cached column
+            top = self.top_k_by_score(scores, range(n), k)
+            out.append([(int(u), float(scores[u])) for u in top])
+        return out
 
     def nanbbox(self, xs, ys, ids=None):
         minx = miny = INF

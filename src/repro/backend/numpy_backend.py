@@ -124,6 +124,18 @@ class NumpyKernels:
         order = np.lexsort((ids[finite], s))
         return finite[order[:k]].tolist()
 
+    def blend_topk_multi(self, requests, social, spatial, exclude=None):
+        n = len(social) if social is not None else len(spatial)
+        ids = range(n)
+        out = []
+        for k, w_social, w_spatial in requests:
+            scores = self.blend(w_social, w_spatial, social, spatial)
+            if exclude is not None:
+                scores[exclude] = INF  # blend output is fresh — never a cached column
+            top = self.top_k_by_score(scores, ids, k)
+            out.append([(int(u), float(scores[u])) for u in top])
+        return out
+
     def nanbbox(self, xs, ys, ids=None):
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)

@@ -198,10 +198,14 @@ def query(user, engine_path, server_address, k, alpha, method, t, budget, fmt) -
 @click.option("--deadline-ms", type=float, default=30_000.0, show_default=True,
               help="Default per-request deadline.")
 @click.option("--no-cache", is_flag=True, help="Disable the service result cache.")
+@click.option("--social-cache-bytes", type=int, default=None,
+              help="Byte budget of the social column cache "
+                   "(0 disables; default: the engine's setting).")
 @click.option("--drain-snapshot-root", type=click.Path(file_okay=False), default=None,
               help="Take a final snapshot here on graceful shutdown.")
 def serve(engine_path, dataset, n, seed, host, port, workers, queue_depth,
-          max_batch, deadline_ms, no_cache, drain_snapshot_root) -> None:
+          max_batch, deadline_ms, no_cache, social_cache_bytes,
+          drain_snapshot_root) -> None:
     """Serve the HTTP API over an engine until interrupted."""
     if (engine_path is None) == (dataset is None):
         raise click.UsageError("pass exactly one of --engine or --dataset")
@@ -209,7 +213,11 @@ def serve(engine_path, dataset, n, seed, host, port, workers, queue_depth,
         engine = GeoSocialEngine.load(engine_path)
     else:
         engine = GeoSocialEngine.from_dataset(DATASETS[dataset](n=n, seed=seed))
-    with QueryService(engine, cache_size=0 if no_cache else 1024) as service:
+    with QueryService(
+        engine,
+        cache_size=0 if no_cache else 1024,
+        social_cache_bytes=social_cache_bytes,
+    ) as service:
         handle = ServerThread(
             service,
             host=host,

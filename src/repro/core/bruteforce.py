@@ -8,9 +8,15 @@ definition of correctness for SSRQ (Definition 1).
 Scoring is columnar: the Dijkstra distance dict is marshalled into a
 dense social column, the spatial column comes from one
 ``euclidean_to_point`` kernel call over the whole location table, and
-one ``blend`` + ``top_k_by_score`` pass selects the answer — so the
-same code path runs scalar (``PythonKernels``) or vectorized
+one ``blend`` + ``top_k_by_score`` pass selects the answer (shared with
+every other column consumer via :func:`repro.social.scan.dense_scan`) —
+so the same code path runs scalar (``PythonKernels``) or vectorized
 (``NumpyKernels``) with bit-identical output.
+
+With a ``column_source`` (a :class:`~repro.social.cache.
+SocialColumnCache`), the social column is cache-first: a prior query
+from the same user makes the full scan O(scan) instead of
+O(Dijkstra + scan), and a cold scan parks its column for everyone else.
 """
 
 from __future__ import annotations
@@ -20,10 +26,11 @@ import time
 
 from repro.backend import Kernels, resolve_backend
 from repro.core.ranking import Normalization, RankingFunction
-from repro.core.result import Neighbor, SSRQResult
+from repro.core.result import SSRQResult
 from repro.core.stats import SearchStats
 from repro.graph.socialgraph import SocialGraph
 from repro.graph.traversal import DijkstraIterator
+from repro.social.scan import dense_scan
 from repro.spatial.point import LocationTable
 from repro.utils.validation import check_user
 
@@ -48,11 +55,13 @@ class BruteForceSearch:
         locations: LocationTable,
         normalization: Normalization,
         kernels: Kernels | None = None,
+        column_source=None,
     ) -> None:
         self.graph = graph
         self.locations = locations
         self.normalization = normalization
         self.kernels = kernels if kernels is not None else resolve_backend("python")
+        self.column_source = column_source
 
     def search(
         self,
@@ -71,33 +80,36 @@ class BruteForceSearch:
         kernels = self.kernels
         n = self.graph.n
 
-        social: dict[int, float] = {}
+        p = None
         if rank.needs_social:
-            it = DijkstraIterator(self.graph, query_user)
-            social = it.run_to_completion()
-            stats.pops_social = it.heap.pops
-        p = kernels.dense_from_dict(n, social, INF)
+            source = self.column_source
+            it = None
+            if source is not None:
+                kind, payload = source.acquire(query_user)
+                if kind == "full":
+                    p = payload
+                elif kind == "partial":
+                    it = payload  # resume the parked expansion
+            if p is None:
+                if it is None:
+                    it = DijkstraIterator(self.graph, query_user)
+                pops_before = it.heap.pops
+                social = it.run_to_completion()
+                stats.pops_social = it.heap.pops - pops_before
+                p = kernels.dense_from_dict(n, social, INF)
+                if source is not None:
+                    source.store_full(query_user, p)
+        else:
+            p = kernels.dense_from_dict(n, {}, INF)
 
-        # The spatial column: distances to the query point, or all-inf
-        # when the spatial term is irrelevant / the query is unlocated
-        # (a NaN query point makes the kernel emit inf everywhere —
-        # exactly the scalar `distance()` contract).
-        location = self.locations.get(query_user) if rank.needs_spatial else None
-        qx, qy = location if location is not None else (_NAN, _NAN)
-        xs, ys = self.locations.columns()
-        d = kernels.euclidean_to_point(xs, ys, qx, qy)
-
-        scores = kernels.blend(rank.w_social, rank.w_spatial, p, d)
-        scores[query_user] = INF  # never report the query user
-        top = kernels.top_k_by_score(scores, range(n), k)
-        neighbors = [
-            Neighbor(int(u), float(scores[u]), float(p[u]), float(d[u])) for u in top
-        ]
-        if initial is not None:
-            for nb in neighbors:
-                initial.offer(nb.user, nb.score, nb.social, nb.spatial)
-            neighbors = initial.neighbors()
-        stats.evaluations = kernels.count_finite(scores)
+        # The spatial column (inside dense_scan): distances to the query
+        # point, or all-inf when the spatial term is irrelevant / the
+        # query is unlocated (a NaN query point makes the kernel emit
+        # inf everywhere — exactly the scalar `distance()` contract).
+        neighbors, finite = dense_scan(
+            kernels, n, rank, p, self.locations, query_user, k, initial
+        )
+        stats.evaluations = finite
         stats.candidates_scored = stats.evaluations
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, neighbors, stats)

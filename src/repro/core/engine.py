@@ -58,6 +58,7 @@ from repro.index.aggregate import AggregateIndex
 from repro.plan.rules import AUTO, route_method
 from repro.sketch.index import SketchIndex
 from repro.sketch.searcher import ApproxSketchSearch
+from repro.social.cache import DEFAULT_SOCIAL_CACHE_BYTES, SocialColumnCache
 from repro.spatial.grid import UniformGrid
 from repro.spatial.point import LocationTable
 from repro.utils.concurrency import ReadWriteLock
@@ -254,6 +255,8 @@ class GeoSocialEngine:
         grid: UniformGrid | None = None,
         aggregate: AggregateIndex | None = None,
         sketch: SketchIndex | None = None,
+        social_cache_bytes: int | None = None,
+        social_cache: "SocialColumnCache | None" = None,
     ) -> None:
         if len(locations) != graph.n:
             raise ValueError(
@@ -299,6 +302,26 @@ class GeoSocialEngine:
         #: lazily on first approx query; injectable — the store's
         #: restore path adopts persisted sketch columns here)
         self._sketch: SketchIndex | None = sketch
+        #: cross-query social-distance column cache consulted by the
+        #: forward-deterministic searchers (:mod:`repro.social`).  Pure
+        #: function of the (immutable-per-engine) graph, so location
+        #: moves never invalidate it and ``with_graph`` rebuilds start
+        #: fresh by construction.  ``social_cache_bytes=0`` disables;
+        #: ``social_cache=`` injects a shared instance (the sharded
+        #: engine hands one cache to every shard).
+        if social_cache is not None:
+            self.social_cache: "SocialColumnCache | None" = social_cache
+        else:
+            budget = (
+                DEFAULT_SOCIAL_CACHE_BYTES
+                if social_cache_bytes is None
+                else social_cache_bytes
+            )
+            self.social_cache = (
+                SocialColumnCache(graph.n, self.kernels, max_bytes=budget)
+                if budget > 0
+                else None
+            )
         self._searchers: dict[str, object] = {}
         #: the ``method="auto"`` resolver (lazily built on first use;
         #: injectable for custom candidate sets / exploration rates,
@@ -455,20 +478,36 @@ class GeoSocialEngine:
     def _build_searcher(self, method: str):
         graph, locations, norm = self.graph, self.locations, self.normalization
         kernels = self.kernels
+        # Only the forward-deterministic methods consult the column
+        # cache: their per-neighbor social distances are forward-
+        # Dijkstra exact, so a cached column is interchangeable with
+        # their own expansion.  The bidirectional families (AIS, *-ch)
+        # stay out — their evaluation distances come from schedule-
+        # dependent meeting points, not the forward column.
+        columns = self.social_cache
         if method == "sfa":
-            return SocialFirstSearch(graph, locations, norm)
+            return SocialFirstSearch(
+                graph, locations, norm, column_source=columns, kernels=kernels
+            )
         if method == "spa":
-            return SpatialFirstSearch(graph, locations, self.grid, norm, kernels=kernels)
+            return SpatialFirstSearch(
+                graph, locations, self.grid, norm, kernels=kernels, column_source=columns
+            )
         if method == "tsa":
             return TwofoldSearch(
-                graph, locations, self.grid, norm, landmarks=self.landmarks, kernels=kernels
+                graph, locations, self.grid, norm, landmarks=self.landmarks,
+                kernels=kernels, column_source=columns,
             )
         if method == "tsa-plain":
-            return TwofoldSearch(graph, locations, self.grid, norm, landmarks=None, kernels=kernels)
+            return TwofoldSearch(
+                graph, locations, self.grid, norm, landmarks=None,
+                kernels=kernels, column_source=columns,
+            )
         if method == "tsa-qc":
             return TwofoldSearch(
                 graph, locations, self.grid, norm,
-                landmarks=self.landmarks, probe_policy="quick-combine", kernels=kernels,
+                landmarks=self.landmarks, probe_policy="quick-combine",
+                kernels=kernels, column_source=columns,
             )
         if method == "ais":
             return self._make_ais(AISVariant.full())
@@ -492,7 +531,9 @@ class GeoSocialEngine:
         if method == "approx":
             return ApproxSketchSearch(graph, locations, norm, self.sketch, kernels=kernels)
         if method == "bruteforce":
-            return BruteForceSearch(graph, locations, norm, kernels=kernels)
+            return BruteForceSearch(
+                graph, locations, norm, kernels=kernels, column_source=columns
+            )
         raise AssertionError(f"unhandled method {method!r}")
 
     def query(
@@ -725,6 +766,12 @@ class GeoSocialEngine:
             # the live planner instance: learned per-bucket costs keep
             # steering method="auto" across the rebuild
             planner=self._planner,
+            # only the byte budget crosses the rebuild, never the cache
+            # instance: the new engine's columns come from the new graph,
+            # so the edge-epoch boundary is structural
+            social_cache_bytes=(
+                self.social_cache.max_bytes if self.social_cache is not None else 0
+            ),
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)

@@ -25,6 +25,8 @@ from repro.core.result import SSRQResult, TopKBuffer
 from repro.core.stats import SearchStats
 from repro.graph.socialgraph import SocialGraph
 from repro.graph.traversal import DijkstraIterator
+from repro.social.resume import ReplayedDijkstra
+from repro.social.scan import dense_scan
 from repro.spatial.point import LocationTable
 from repro.utils.validation import check_user
 
@@ -48,11 +50,19 @@ class SocialFirstSearch:
         locations: LocationTable,
         normalization: Normalization,
         point_to_point=None,
+        column_source=None,
+        kernels=None,
     ) -> None:
         self.graph = graph
         self.locations = locations
         self.normalization = normalization
         self.point_to_point = point_to_point
+        #: optional SocialColumnCache; a full column short-circuits the
+        #: whole expansion into one dense scan, a parked partial resumes
+        #: it (only meaningful without a point-to-point oracle, whose
+        #: evaluation distances don't come from the Dijkstra stream)
+        self.column_source = column_source
+        self.kernels = kernels
 
     def search(
         self,
@@ -75,10 +85,33 @@ class SocialFirstSearch:
                 "never grows; use SPA (the engine routes this automatically)"
             )
         buffer = initial if initial is not None else TopKBuffer(k)
-        social = DijkstraIterator(self.graph, query_user)
-        locations = self.locations
         oracle = self.point_to_point
+        source = self.column_source if oracle is None else None
+
+        social = None
+        if source is not None:
+            kind, payload = source.acquire(query_user)
+            if kind == "full":
+                # One columnar pass over the cached column — bit-identical
+                # to the enumeration below (strict termination + smaller-id
+                # tie-break select exactly the (score, id)-minimal set).
+                kernels = self.kernels if self.kernels is not None else source.kernels
+                neighbors, finite = dense_scan(
+                    kernels, self.graph.n, rank, payload,
+                    self.locations, query_user, k, initial,
+                )
+                stats.candidates_scored = finite
+                stats.extra["social_column_hits"] = 1
+                stats.elapsed = time.perf_counter() - start
+                return SSRQResult(query_user, k, alpha, neighbors, stats)
+            if kind == "partial":
+                social = ReplayedDijkstra(payload)
+        inner = social.inner if social is not None else DijkstraIterator(self.graph, query_user)
+        if social is None:
+            social = inner
+        locations = self.locations
         oracle_pops_before = oracle.pops if oracle is not None else 0
+        pops_before = social.heap.pops
 
         while True:
             item = social.next()
@@ -98,8 +131,10 @@ class SocialFirstSearch:
             if theta > buffer.fk:
                 break
 
-        stats.pops_social = social.heap.pops
+        stats.pops_social = social.heap.pops - pops_before
         if oracle is not None:
             stats.pops_social += oracle.pops - oracle_pops_before
+        if source is not None:
+            source.checkin(query_user, inner)
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)

@@ -26,6 +26,7 @@ from repro.core.result import SSRQResult, TopKBuffer
 from repro.core.stats import SearchStats
 from repro.graph.socialgraph import SocialGraph
 from repro.graph.traversal import DijkstraIterator
+from repro.social.scan import dense_scan
 from repro.spatial.grid import UniformGrid
 from repro.spatial.nn import IncrementalNearestNeighbors
 from repro.spatial.point import LocationTable
@@ -55,6 +56,7 @@ class SpatialFirstSearch:
         normalization: Normalization,
         point_to_point=None,
         kernels=None,
+        column_source=None,
     ) -> None:
         self.graph = graph
         self.locations = locations
@@ -62,6 +64,11 @@ class SpatialFirstSearch:
         self.normalization = normalization
         self.point_to_point = point_to_point
         self.kernels = kernels
+        #: optional SocialColumnCache; SPA only ever calls
+        #: ``run_until`` — which consults ``settled`` before advancing —
+        #: so a parked partial expansion is resumed *directly*, no
+        #: replay adapter needed
+        self.column_source = column_source
 
     def search(
         self,
@@ -93,14 +100,33 @@ class SpatialFirstSearch:
         qx, qy = location
 
         buffer = initial if initial is not None else TopKBuffer(k)
+        oracle = self.point_to_point
+        source = self.column_source if oracle is None and rank.needs_social else None
+        social = None
+        if source is not None:
+            kind, payload = source.acquire(query_user)
+            if kind == "full":
+                # One columnar pass over the cached column — bit-identical
+                # to the NN enumeration below (strict termination +
+                # smaller-id tie-break select the (score, id)-minimal set).
+                kernels = self.kernels if self.kernels is not None else source.kernels
+                neighbors, finite = dense_scan(
+                    kernels, self.graph.n, rank, payload,
+                    self.locations, query_user, k, initial,
+                )
+                stats.candidates_scored = finite
+                stats.extra["social_column_hits"] = 1
+                stats.elapsed = time.perf_counter() - start
+                return SSRQResult(query_user, k, alpha, neighbors, stats)
+            if kind == "partial":
+                social = payload  # resume the parked expansion in place
         nn = IncrementalNearestNeighbors(
             self.grid, self.locations, qx, qy, exclude=query_user, kernels=self.kernels
         )
-        oracle = self.point_to_point
         oracle_pops_before = oracle.pops if oracle is not None else 0
-        social = None
-        if rank.needs_social and oracle is None:
+        if social is None and rank.needs_social and oracle is None:
             social = DijkstraIterator(self.graph, query_user)
+        social_pops_before = social.heap.pops if social is not None else 0
 
         while True:
             item = nn.next()
@@ -125,8 +151,10 @@ class SpatialFirstSearch:
         stats.pops_spatial = nn.heap.pops
         stats.cells_opened = nn.cells_opened
         if social is not None:
-            stats.pops_social = social.heap.pops
+            stats.pops_social = social.heap.pops - social_pops_before
         if oracle is not None:
             stats.pops_social += oracle.pops - oracle_pops_before
+        if source is not None and social is not None:
+            source.checkin(query_user, social)
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)

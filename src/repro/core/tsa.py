@@ -39,6 +39,8 @@ from repro.core.stats import SearchStats
 from repro.graph.landmarks import LandmarkIndex
 from repro.graph.socialgraph import SocialGraph
 from repro.graph.traversal import DijkstraIterator
+from repro.social.resume import ReplayedDijkstra
+from repro.social.scan import dense_scan
 from repro.spatial.grid import UniformGrid
 from repro.spatial.nn import IncrementalNearestNeighbors
 from repro.spatial.point import LocationTable
@@ -86,6 +88,7 @@ class TwofoldSearch:
         probe_policy: str = "round-robin",
         point_to_point=None,
         kernels=None,
+        column_source=None,
     ) -> None:
         if probe_policy not in ("round-robin", "quick-combine"):
             raise ValueError(f"unknown probe policy {probe_policy!r}")
@@ -97,6 +100,12 @@ class TwofoldSearch:
         self.probe_policy = probe_policy
         self.point_to_point = point_to_point
         self.kernels = kernels
+        #: optional SocialColumnCache; a full column collapses both
+        #: phases into one dense scan, a parked partial replays through
+        #: :class:`~repro.social.resume.ReplayedDijkstra` so the
+        #: interleaved enumeration (and its ``settled``-keyed candidate
+        #: admission) sees exactly a cold stream
+        self.column_source = column_source
 
     # -- query ----------------------------------------------------------------
 
@@ -128,8 +137,32 @@ class TwofoldSearch:
         qx, qy = location
 
         buffer = initial if initial is not None else TopKBuffer(k)
-        social = DijkstraIterator(self.graph, query_user)
         oracle = self.point_to_point
+        source = self.column_source if oracle is None else None
+        social = None
+        if source is not None:
+            kind, payload = source.acquire(query_user)
+            if kind == "full":
+                # One columnar pass over the cached column — bit-identical
+                # to the twofold enumeration below (strict termination +
+                # smaller-id tie-break select the (score, id)-minimal set).
+                kernels = self.kernels if self.kernels is not None else source.kernels
+                neighbors, finite = dense_scan(
+                    kernels, self.graph.n, rank, payload,
+                    self.locations, query_user, k, initial,
+                )
+                stats.candidates_scored = finite
+                stats.extra["social_column_hits"] = 1
+                stats.elapsed = time.perf_counter() - start
+                return SSRQResult(query_user, k, alpha, neighbors, stats)
+            if kind == "partial":
+                social = ReplayedDijkstra(payload)
+        social_inner = social.inner if social is not None else DijkstraIterator(
+            self.graph, query_user
+        )
+        if social is None:
+            social = social_inner
+        social_pops_before = social.heap.pops
         oracle_pops_before = oracle.pops if oracle is not None else 0
         nn = IncrementalNearestNeighbors(
             self.grid, self.locations, qx, qy, exclude=query_user, kernels=self.kernels
@@ -207,11 +240,13 @@ class TwofoldSearch:
                     query_user, rank, buffer, candidates, cand_heap, social, social_live, stats
                 )
 
-        stats.pops_social += social.heap.pops
+        stats.pops_social += social.heap.pops - social_pops_before
         if oracle is not None:
             stats.pops_social += oracle.pops - oracle_pops_before
         stats.pops_spatial = nn.heap.pops
         stats.cells_opened = nn.cells_opened
+        if source is not None:
+            source.checkin(query_user, social_inner)
         stats.elapsed = time.perf_counter() - start
         return SSRQResult(query_user, k, alpha, buffer.neighbors(), stats)
 

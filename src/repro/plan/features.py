@@ -25,7 +25,17 @@ The planner's cost estimates are keyed by a small discrete
   required).  Budgeted and exact traffic have different candidate sets
   (only budgeted buckets may resolve to the sketch fast path), so
   mixing them under one bucket would let approx's cheap observations
-  poison the estimates exact queries rely on.
+  poison the estimates exact queries rely on;
+- ``social_hit`` — whether the engine's
+  :class:`~repro.social.cache.SocialColumnCache` holds a full column
+  for the query user.  A warm column collapses every
+  forward-deterministic method to one dense scan (microseconds) while
+  AIS-family methods ignore the cache entirely — the same query is in
+  genuinely different cost regimes warm vs cold, so the planner must
+  not average them (probed via
+  :meth:`~repro.social.cache.SocialColumnCache.contains_full`, which
+  touches no statistics and no LRU order — observation must not
+  perturb the observed).
 
 Extraction is duck-typed over both engine kinds: a single
 :class:`~repro.core.engine.GeoSocialEngine` exposes its grid directly,
@@ -39,9 +49,9 @@ import math
 from dataclasses import dataclass
 
 #: ``(k_bucket, alpha_bucket, degree_bucket, density_bucket,
-#: fanout_bucket, budget_bucket)`` — the budget dimension is appended
-#: last so positional consumers of the older dimensions (the cost
-#: model's alpha-marginal keys on ``bucket[1]``) stay valid
+#: fanout_bucket, budget_bucket, social_hit)`` — each new dimension is
+#: appended last so positional consumers of the older dimensions (the
+#: cost model's alpha-marginal keys on ``bucket[1]``) stay valid
 FeatureBucket = tuple
 
 _K_EDGES = (10, 20, 40)
@@ -66,13 +76,16 @@ class QueryFeatures:
 
         >>> from repro.plan import QueryFeatures
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5).bucket()
-        (2, 1, 3, 1, 0, 0)
+        (2, 1, 3, 1, 0, 0, 0)
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
         ...               fanout=4).bucket()
-        (2, 1, 3, 1, 2, 0)
+        (2, 1, 3, 1, 2, 0, 0)
         >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
         ...               budget=0.05).bucket()
-        (2, 1, 3, 1, 0, 2)
+        (2, 1, 3, 1, 0, 2, 0)
+        >>> QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5,
+        ...               social_hit=True).bucket()
+        (2, 1, 3, 1, 0, 0, 1)
     """
 
     k: int
@@ -85,6 +98,8 @@ class QueryFeatures:
     fanout: int = 1
     #: per-query accuracy budget (``None`` ≡ ``0.0`` ≡ exact required)
     budget: float | None = None
+    #: a full social column for the query user is cached (warm regime)
+    social_hit: bool = False
 
     def bucket(self) -> FeatureBucket:
         """Discretize into the cost model's key (small, stable arity)."""
@@ -95,6 +110,7 @@ class QueryFeatures:
             _bucketize(self.cell_density, _DENSITY_EDGES),
             _bucketize(self.fanout, _FANOUT_EDGES),
             _bucketize(self.budget if self.budget is not None else 0.0, _BUDGET_EDGES),
+            int(self.social_hit),
         )
 
 
@@ -144,6 +160,7 @@ def extract_features(
 ) -> QueryFeatures:
     """O(1) feature extraction against either engine kind (never
     raises for unlocated users — the searcher surfaces that error)."""
+    cache = getattr(engine, "social_cache", None)
     return QueryFeatures(
         k=k,
         alpha=alpha,
@@ -151,4 +168,5 @@ def extract_features(
         cell_density=local_cell_density(engine, user),
         fanout=scatter_fanout(engine),
         budget=budget,
+        social_hit=cache.contains_full(user) if cache is not None else False,
     )

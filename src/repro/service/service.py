@@ -41,10 +41,16 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Iterator
 
-from repro.core.engine import AUTO, GeoSocialEngine, resolve_dispatch
+from repro.core.engine import (
+    AUTO,
+    FORWARD_DETERMINISTIC_METHODS,
+    GeoSocialEngine,
+    resolve_dispatch,
+)
 from repro.core.result import SSRQResult
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.model import QueryRequest, QueryResponse, ServiceStats
+from repro.social.fused import fused_variants
 
 if TYPE_CHECKING:
     from repro.graph.dynamics import DynamicLandmarkTables
@@ -86,6 +92,13 @@ class QueryService:
         Invalidation tuning, forwarded to :class:`ResultCache`.
     batch_dedup:
         Compute identical in-batch requests once (default on).
+    social_cache_bytes:
+        Byte budget for the engine's
+        :class:`~repro.social.cache.SocialColumnCache` (``None`` keeps
+        the engine's own setting, ``0`` disables column reuse).  Applied
+        by resizing the live cache in place, and re-applied to every
+        engine this service swaps in (:meth:`rebuild_engine` /
+        :meth:`replace_engine`), so the knob survives rebuilds.
     """
 
     def __init__(
@@ -97,6 +110,7 @@ class QueryService:
         scan_limit: int | None = None,
         edge_blast_radius: int | None = None,
         batch_dedup: bool = True,
+        social_cache_bytes: int | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -121,8 +135,21 @@ class QueryService:
         #: SubscriptionRegistry); fed by _on_edge_update regardless of
         #: whether result caching is enabled
         self._edge_listeners: list = []
+        self._social_cache_bytes = social_cache_bytes
+        self._apply_social_budget(engine)
         if self.cache is not None:
             engine.add_location_listener(self._on_location_update)
+
+    def _apply_social_budget(self, engine: GeoSocialEngine) -> None:
+        """Resize ``engine``'s social column cache to this service's
+        requested byte budget (no-op when no budget was requested or the
+        engine carries no cache — e.g. one built with
+        ``social_cache_bytes=0``)."""
+        if self._social_cache_bytes is None:
+            return
+        social = getattr(engine, "social_cache", None)
+        if social is not None:
+            social.resize(self._social_cache_bytes)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -348,17 +375,65 @@ class QueryService:
                 pending.setdefault(key, []).append(i)
 
             # 2. execute the distinct remainder (concurrently when the
-            #    batch and the pool allow it).
+            #    batch and the pool allow it).  Distinct (k, α) variants
+            #    for one hot query user along a forward-deterministic
+            #    path all derive from the same social column, so they
+            #    collapse into ONE fused task: the column materialises
+            #    once (through the engine's SocialColumnCache) and every
+            #    variant is answered by a shared-column blend + top-k
+            #    pass (:meth:`Kernels.blend_topk_multi`) — bit-identical
+            #    to per-request ``engine.query``.  Planner-routed
+            #    requests stay on the per-query path (their measured
+            #    latency must feed the decision back), and SPA/TSA
+            #    variants for an unlocated query user do too (they must
+            #    raise that searcher's exact error); SFA/bruteforce
+            #    tolerate unlocated users identically either way.
             work = [(key, reqs[indexes[0]]) for key, indexes in pending.items()]
-            if len(work) > 1 and self.max_workers > 1:
-                executed = list(
-                    self._executor().map(
-                        lambda item: self._execute(item[1], engine, resolve(item[1])[0]),
-                        work,
+            executed: "list[tuple[SSRQResult, float] | None]" = [None] * len(work)
+
+            def run_single(wi: int) -> None:
+                req = work[wi][1]
+                executed[wi] = self._execute(req, engine, resolve(req)[0])
+
+            def run_fused(user: int, indexes: "list[int]") -> None:
+                variants = [
+                    (work[wi][1].k, work[wi][1].alpha, resolve(work[wi][1])[0])
+                    for wi in indexes
+                ]
+                for wi, result in zip(indexes, fused_variants(engine, user, variants)):
+                    executed[wi] = (result, result.stats.elapsed)
+
+            fusable: "dict[int, list[int]]" = {}
+            for wi, (_key, req) in enumerate(work):
+                resolved, decision, _ = resolve(req)
+                if (
+                    decision is None
+                    and resolved in FORWARD_DETERMINISTIC_METHODS
+                    # invalid users keep the per-query path (engine.query
+                    # raises its exact error there)
+                    and 0 <= req.user < engine.graph.n
+                    and (
+                        resolved in ("sfa", "bruteforce")
+                        or engine.locations.get(req.user) is not None
                     )
-                )
+                ):
+                    fusable.setdefault(req.user, []).append(wi)
+            groups = {u: wis for u, wis in fusable.items() if len(wis) >= 2}
+            grouped = {wi for wis in groups.values() for wi in wis}
+            tasks: "list" = [
+                (lambda user=user, wis=wis: run_fused(user, wis))
+                for user, wis in groups.items()
+            ]
+            tasks.extend(
+                (lambda wi=wi: run_single(wi))
+                for wi in range(len(work))
+                if wi not in grouped
+            )
+            if len(tasks) > 1 and self.max_workers > 1:
+                list(self._executor().map(lambda task: task(), tasks))
             else:
-                executed = [self._execute(req, engine, resolve(req)[0]) for _, req in work]
+                for task in tasks:
+                    task()
 
             # 3. fan results back out in request order.
             for (key, req), (result, elapsed) in zip(work, executed):
@@ -527,6 +602,10 @@ class QueryService:
             new_engine.add_location_listener(self._on_location_update)
             self.cache.invalidate_all()
         self.engine = new_engine
+        # The old engine's column cache dies with it; the new engine
+        # starts from a fresh (empty) cache, re-sized to this service's
+        # requested byte budget so the knob survives rebuilds.
+        self._apply_social_budget(new_engine)
         with self._dynamics_lock:
             if self._dynamics is not None:
                 from repro.graph.dynamics import DynamicLandmarkTables
@@ -599,6 +678,13 @@ class QueryService:
 
     def _on_edge_update(self, u: int, v: int, weight: float | None) -> None:
         try:
+            # The social column cache is edge-epoch keyed: an edge update
+            # may change any distance from any source, so drop every
+            # column before any downstream consumer can observe the new
+            # topology.  (Location moves, by contrast, never touch it.)
+            social = getattr(self.engine, "social_cache", None)
+            if social is not None:
+                social.invalidate_all()
             if self.cache is None:
                 return
             outcome = self.cache.invalidate_edge_update(
@@ -617,23 +703,33 @@ class QueryService:
     # -- introspection -------------------------------------------------
 
     def cache_info(self) -> dict:
-        """Cache statistics snapshot (empty dict when caching is off)."""
-        if self.cache is None:
-            return {}
-        stats = self.cache.stats
-        return {
-            "size": len(self.cache),
-            "capacity": self.cache.capacity,
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "hit_rate": stats.hit_rate,
-            "evictions": stats.evictions,
-            "invalidated": stats.invalidated,
-            "repaired": stats.repaired,
-            "reused": stats.reused,
-            "full_invalidations": stats.full_invalidations,
-            "epoch": self.cache.epoch,
-        }
+        """Cache statistics snapshot: the result cache's counters at the
+        top level (absent when result caching is off) plus the engine's
+        social column cache under ``"social"`` (absent when the engine
+        carries none) — so ``/stats``, ``/metrics``, and ``repro stats``
+        surface both caches from one call."""
+        info: dict = {}
+        if self.cache is not None:
+            stats = self.cache.stats
+            info.update(
+                {
+                    "size": len(self.cache),
+                    "capacity": self.cache.capacity,
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "hit_rate": stats.hit_rate,
+                    "evictions": stats.evictions,
+                    "invalidated": stats.invalidated,
+                    "repaired": stats.repaired,
+                    "reused": stats.reused,
+                    "full_invalidations": stats.full_invalidations,
+                    "epoch": self.cache.epoch,
+                }
+            )
+        social = getattr(self.engine, "social_cache", None)
+        if social is not None:
+            info["social"] = social.info()
+        return info
 
     def __repr__(self) -> str:
         cache = len(self.cache) if self.cache is not None else "off"

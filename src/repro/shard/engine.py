@@ -72,6 +72,8 @@ from repro.graph.socialgraph import SocialGraph
 from repro.shard.bounds import ShardBounds
 from repro.shard.journal import DeltaJournal, LocationDelta
 from repro.shard.partitioner import Partitioner, make_partitioner
+from repro.social.cache import DEFAULT_SOCIAL_CACHE_BYTES, SocialColumnCache
+from repro.social.scan import dense_scan
 from repro.spatial.point import LocationTable
 from repro.topk.merge import merge_topk
 from repro.utils.concurrency import ReadWriteLock, TaskPool
@@ -87,6 +89,13 @@ INF = math.inf
 #: the shared graph and global location table make them globally exact;
 #: "approx" scores global columnar sketches, so it never scatters)
 DELEGATED_METHODS = frozenset({"sfa", "sfa-ch", "bruteforce", "approx"})
+
+#: scatter methods eligible for the coordinator's column-scan bypass:
+#: forward-deterministic, so a cached full social column answers the
+#: whole query in one dense scan that is bit-identical to the merged
+#: scatter result (delegated FD methods — sfa, bruteforce — consult the
+#: shared cache inside the delegate shard engine instead)
+_COLUMN_SCAN_METHODS = frozenset({"spa", "tsa", "tsa-plain", "tsa-qc"})
 
 
 @dataclass
@@ -107,6 +116,9 @@ class ScatterStats:
     shards_considered: int = 0
     #: per-shard searches actually executed
     shards_searched: int = 0
+    #: scatter-eligible queries answered at the coordinator by one
+    #: dense scan over a cached social column (no shard was searched)
+    column_scans: int = 0
 
     @property
     def shards_pruned(self) -> int:
@@ -127,6 +139,7 @@ class ScatterStats:
             "shards_searched": self.shards_searched,
             "shards_pruned": self.shards_pruned,
             "pruned_fraction": self.pruned_fraction,
+            "column_scans": self.column_scans,
         }
 
 
@@ -223,6 +236,8 @@ class ShardedGeoSocialEngine:
         scatter_backend: str = "auto",
         replicas: int = 1,
         journal_capacity: int = 8192,
+        social_cache_bytes: int | None = None,
+        social_cache: "SocialColumnCache | None" = None,
         _shard_indexes: dict | None = None,
     ) -> None:
         if len(locations) != graph.n:
@@ -245,6 +260,21 @@ class ShardedGeoSocialEngine:
         #: kernels + resolved backend name, shared by every shard engine
         self.kernels = resolve_backend(backend)
         self.backend = self.kernels.name
+        #: ONE social column cache shared by every shard engine: a
+        #: column is a whole-graph object (shards share the full social
+        #: graph), so whichever shard pays for an expansion, every other
+        #: shard — and the coordinator's scatter bypass — reuses it
+        if social_cache is not None:
+            self.social_cache: "SocialColumnCache | None" = social_cache
+        else:
+            budget = (
+                DEFAULT_SOCIAL_CACHE_BYTES
+                if social_cache_bytes is None
+                else social_cache_bytes
+            )
+            self.social_cache = (
+                SocialColumnCache(graph.n, self.kernels, budget) if budget > 0 else None
+            )
         self.landmarks = (
             landmarks
             if landmarks is not None
@@ -364,6 +394,11 @@ class ShardedGeoSocialEngine:
             backend=self.kernels,
             grid=grid,
             aggregate=aggregate,
+            # every shard consults (and feeds) the coordinator's one
+            # shared column cache; 0 stops a disabled coordinator's
+            # shards from building private ones
+            social_cache=self.social_cache,
+            social_cache_bytes=0,
         )
         # The t-nearest social lists depend only on the shared graph:
         # point every shard at one store so ais-cache scatter does not
@@ -488,11 +523,49 @@ class ShardedGeoSocialEngine:
             with self._scatter_lock:
                 self.scatter.delegated_queries += 1
         else:
-            result = self._scatter_query(user, k, alpha, routed, t)
+            result = self._column_scan_query(user, k, alpha, routed)
+            if result is None:
+                result = self._scatter_query(user, k, alpha, routed, t)
         result.method = routed
         if decision is not None:
             self.planner.observe(decision, result.stats.elapsed)
         return result
+
+    def _column_scan_query(
+        self, user: int, k: int, alpha: float, method: str
+    ) -> "SSRQResult | None":
+        """Answer a scatter-eligible query from a cached full social
+        column without touching any shard, or ``None`` to scatter.
+
+        Sound only when the method is forward-deterministic (a dense
+        scan over the exact column selects the same ``(score, id)``-
+        minimal set the merged scatter enumeration would), the ranking
+        actually uses the social term (at ``alpha == 0`` the searcher's
+        ``Neighbor`` fields follow the all-``inf`` social convention a
+        real column would violate), and the query user is located (an
+        unlocated one must raise the spatial searcher's exact error on
+        the normal path)."""
+        cache = self.social_cache
+        if cache is None or method not in _COLUMN_SCAN_METHODS:
+            return None
+        rank = RankingFunction(alpha, self.normalization)
+        if not rank.needs_social or self.locations.get(user) is None:
+            return None
+        start = time.perf_counter()
+        column = cache.peek_full(user)
+        if column is None:
+            return None
+        stats = SearchStats()
+        neighbors, finite = dense_scan(
+            self.kernels, self.graph.n, rank, column, self.locations, user, k
+        )
+        stats.candidates_scored = finite
+        stats.extra["social_column_hits"] = 1
+        stats.extra["column_scan"] = 1
+        stats.elapsed = time.perf_counter() - start
+        with self._scatter_lock:
+            self.scatter.column_scans += 1
+        return SSRQResult(user, k, alpha, neighbors, stats)
 
     def _scatter_plan(
         self, user: int, alpha: float, method: str
@@ -843,6 +916,12 @@ class ShardedGeoSocialEngine:
             scatter_backend=self.scatter_backend,
             replicas=self.replicas,
             journal_capacity=self._journal.capacity,
+            # only the byte budget crosses the rebuild, never the cache
+            # instance: the new engine's columns must come from the new
+            # graph's expansions exclusively
+            social_cache_bytes=(
+                self.social_cache.max_bytes if self.social_cache is not None else 0
+            ),
         )
         kwargs.update(overrides)
         return type(self)(graph, self.locations, **kwargs)

@@ -1,0 +1,32 @@
+"""Cross-query social-distance reuse.
+
+Social-distance columns are pure functions of the (immutable-per-
+engine) social graph, so they are cacheable across queries with *zero*
+accuracy cost: :class:`SocialColumnCache` memoizes full dense columns
+and parks partially-expanded :class:`~repro.graph.traversal.
+DijkstraIterator` states per query user, invalidated only when social
+edges change — location moves never touch it.  See
+:mod:`repro.social.cache` for the epoch argument, :mod:`repro.social.
+resume` for the replay contract that keeps resumed streams
+bit-identical to cold ones, and :mod:`repro.social.scan` /
+:mod:`repro.social.fused` for the shared columnar scoring paths.
+"""
+
+from repro.social.cache import (
+    DEFAULT_SOCIAL_CACHE_BYTES,
+    SocialCacheStats,
+    SocialColumnCache,
+)
+from repro.social.fused import fused_variants
+from repro.social.resume import ReplayedDijkstra
+from repro.social.scan import dense_scan, materialize_column
+
+__all__ = [
+    "DEFAULT_SOCIAL_CACHE_BYTES",
+    "ReplayedDijkstra",
+    "SocialCacheStats",
+    "SocialColumnCache",
+    "dense_scan",
+    "fused_variants",
+    "materialize_column",
+]

@@ -1,0 +1,310 @@
+"""Byte-bounded, epoch-safe cache of per-query-user social-distance
+columns.
+
+Every forward-deterministic query path — bruteforce, SFA/SPA/TSA,
+stream repairs, fused batches — derives the same object first: the
+social distances from the query user.  Those distances are a pure
+function of the (immutable-per-engine) social graph, so once one query
+has paid for an expansion, every later query from the same user can
+reuse it **exactly**:
+
+- a *full* column (the query ran the expansion to exhaustion, or a
+  resumed one finished it) answers any later query with one columnar
+  scan — no traversal at all;
+- a *partial* column parks the early-terminated
+  :class:`~repro.graph.traversal.DijkstraIterator` with its settled
+  radius, so the next query *resumes* the expansion instead of
+  restarting it from the source.
+
+**Why edge-epoch invalidation only.**  A social column depends on
+nothing but the graph's edges.  Location moves — the overwhelming
+majority of updates under the paper's workload model — can therefore
+never stale a column, and the cache ignores them entirely; that is what
+keeps hit rates high under mixed read/update traffic.  Edge updates
+accumulate in the service layer's companion tables (the engine's CSR
+graph never mutates in place), so within one engine's lifetime every
+cached column stays exact; the service still calls
+:meth:`SocialColumnCache.invalidate_all` on every edge update —
+mirroring the result cache's conservative contract — and an engine
+rebuild (:meth:`~repro.service.QueryService.rebuild_engine`) starts
+from a fresh, empty cache by construction.
+
+**Why bytes, not entries.**  A dense column is ``8·n`` bytes — ~8 MB
+per column on a 1M-user graph — so an entry-counted LRU would be
+unbounded in the dimension that actually matters.  Entries are
+byte-accounted (columns exactly, parked iterators by a documented
+per-settled-vertex estimate) and evicted LRU-first until the budget
+holds.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.graph.traversal import DijkstraIterator
+
+INF = math.inf
+
+__all__ = [
+    "DEFAULT_SOCIAL_CACHE_BYTES",
+    "SocialCacheStats",
+    "SocialColumnCache",
+]
+
+#: default byte budget: ~4 dense columns on a 1M-user graph, thousands
+#: on bench-scale ones — conservative against the engine's own footprint
+DEFAULT_SOCIAL_CACHE_BYTES = 32 * 1024 * 1024
+
+#: a dense column stores one float64 per user
+_COLUMN_ENTRY_BYTES = 8
+
+#: accounting estimate per settled vertex of a parked iterator: the
+#: ``settled``/``parent``/``_best`` dict slots plus the amortised heap
+#: tuple (an estimate — Python dict internals vary by version — but a
+#: deliberate *over*-estimate, so partials never starve full columns)
+_PARTIAL_ENTRY_BYTES = 96
+
+
+@dataclass
+class SocialCacheStats:
+    """Lifetime counters of one :class:`SocialColumnCache`.
+
+        >>> from repro.social import SocialCacheStats
+        >>> stats = SocialCacheStats(hits=3, misses=1)
+        >>> stats.snapshot()["hits"]
+        3
+    """
+
+    #: lookups answered by a fully materialised column
+    hits: int = 0
+    #: lookups that checked out a parked partial expansion to resume
+    resumes: int = 0
+    #: lookups that found neither (the query expands from scratch)
+    misses: int = 0
+    #: partial columns completed and promoted to full on check-in
+    promotions: int = 0
+    #: entries dropped by the byte-budget LRU
+    evictions: int = 0
+    #: full invalidations (edge-epoch bumps)
+    invalidations: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "resumes": self.resumes,
+            "misses": self.misses,
+            "promotions": self.promotions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class _Full:
+    __slots__ = ("column", "bytes")
+
+    def __init__(self, column, nbytes: int) -> None:
+        self.column = column
+        self.bytes = nbytes
+
+
+class _Partial:
+    __slots__ = ("iterator", "bytes")
+
+    def __init__(self, iterator: DijkstraIterator, nbytes: int) -> None:
+        self.iterator = iterator
+        self.bytes = nbytes
+
+
+class SocialColumnCache:
+    """Byte-bounded LRU of social-distance columns, keyed by query user.
+
+        >>> from repro import SocialGraph
+        >>> from repro.backend import PythonKernels
+        >>> from repro.graph.traversal import DijkstraIterator
+        >>> from repro.social import SocialColumnCache
+        >>> g = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        >>> cache = SocialColumnCache(3, PythonKernels())
+        >>> cache.acquire(0)
+        (None, None)
+        >>> it = DijkstraIterator(g, 0)
+        >>> _ = it.run_to_completion()
+        >>> cache.checkin(0, it)      # exhausted: promoted to a column
+        >>> kind, column = cache.acquire(0)
+        >>> kind, list(column)
+        ('full', [0.0, 1.0, 2.0])
+
+    Thread-safe: every operation holds one internal lock, so concurrent
+    queries under the engine's shared read lock never observe a
+    half-updated entry.  A *partial* entry is checked out exclusively
+    (removed on :meth:`acquire`), so only one search ever advances a
+    parked iterator; :meth:`checkin` resolves races by keeping the
+    expansion with the larger settled radius.
+    """
+
+    def __init__(self, n: int, kernels, max_bytes: int = DEFAULT_SOCIAL_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.n = n
+        self.kernels = kernels
+        self.max_bytes = max_bytes
+        self.stats = SocialCacheStats()
+        self._entries: "OrderedDict[int, _Full | _Partial]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains_full(self, user: int) -> bool:
+        """Whether a fully materialised column for ``user`` is cached —
+        O(1), no statistics, no LRU touch (the planner's warm-vs-cold
+        feature probe, which must never perturb what it observes)."""
+        return isinstance(self._entries.get(user), _Full)
+
+    def info(self) -> dict:
+        """State + lifetime counters as one plain dict (stable keys)."""
+        with self._lock:
+            columns = sum(1 for e in self._entries.values() if isinstance(e, _Full))
+            payload = {
+                "entries": len(self._entries),
+                "columns": columns,
+                "partials": len(self._entries) - columns,
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }
+            payload.update(self.stats.snapshot())
+            return payload
+
+    # -- lookup --------------------------------------------------------
+
+    def acquire(self, user: int):
+        """``("full", column)``, ``("partial", iterator)``, or
+        ``(None, None)`` for ``user``.
+
+        A full column is shared (callers must treat it as read-only); a
+        partial expansion is **checked out** — removed from the cache so
+        exactly one search advances it — and should come back via
+        :meth:`checkin` whether or not it was advanced."""
+        with self._lock:
+            if not self.max_bytes:
+                return None, None
+            entry = self._entries.get(user)
+            if entry is None:
+                self.stats.misses += 1
+                return None, None
+            if isinstance(entry, _Full):
+                self._entries.move_to_end(user)
+                self.stats.hits += 1
+                return "full", entry.column
+            del self._entries[user]
+            self._bytes -= entry.bytes
+            self.stats.resumes += 1
+            return "partial", entry.iterator
+
+    def peek_full(self, user: int):
+        """The full column for ``user`` if one is cached (records a
+        hit), else ``None`` — *without* recording a miss: peek callers
+        (stream repairs, the sharded coordinator's scatter bypass) have
+        their own fallback path and are probing, not demanding."""
+        with self._lock:
+            entry = self._entries.get(user)
+            if isinstance(entry, _Full):
+                self._entries.move_to_end(user)
+                self.stats.hits += 1
+                return entry.column
+            return None
+
+    # -- store ---------------------------------------------------------
+
+    def store_full(self, user: int, column) -> None:
+        """Cache a fully materialised column for ``user`` (replaces any
+        existing entry; no-op when it cannot fit the budget at all)."""
+        nbytes = self.n * _COLUMN_ENTRY_BYTES
+        with self._lock:
+            if not self.max_bytes or nbytes > self.max_bytes:
+                return
+            self._evict_user_locked(user)
+            self._entries[user] = _Full(column, nbytes)
+            self._bytes += nbytes
+            self._shrink_locked()
+
+    def checkin(self, user: int, iterator: DijkstraIterator) -> None:
+        """Park ``iterator`` (typically just checked out and advanced)
+        as ``user``'s partial column.  An exhausted iterator is
+        *promoted*: its settled map is marshalled into a dense column
+        once, and every later query scans instead of traversing.  If a
+        concurrent search raced a fresh entry in, the expansion with
+        the larger settled radius wins (both are exact — distances are
+        schedule-independent — so either is correct; the larger one
+        simply resumes further along)."""
+        if not self.max_bytes:
+            return
+        if iterator.exhausted:
+            column = self.kernels.dense_from_dict(self.n, iterator.settled, INF)
+            with self._lock:
+                self.stats.promotions += 1
+            self.store_full(user, column)
+            return
+        nbytes = max(1, len(iterator.settled)) * _PARTIAL_ENTRY_BYTES
+        with self._lock:
+            if nbytes > self.max_bytes:
+                return
+            existing = self._entries.get(user)
+            if isinstance(existing, _Full):
+                return  # a finished column supersedes any partial radius
+            if isinstance(existing, _Partial) and len(existing.iterator.settled) >= len(
+                iterator.settled
+            ):
+                self._entries.move_to_end(user)
+                return
+            self._evict_user_locked(user)
+            self._entries[user] = _Partial(iterator, nbytes)
+            self._bytes += nbytes
+            self._shrink_locked()
+
+    # -- invalidation / sizing ----------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (the edge-epoch bump: a social-edge update
+        may change any distance from any source)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.stats.invalidations += 1
+
+    def resize(self, max_bytes: int) -> None:
+        """Change the byte budget in place (the searchers hold this
+        instance by reference, so the service-layer knob resizes the
+        live cache rather than rebuilding engines); shrinking evicts
+        LRU-first immediately, ``0`` empties and disables."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        with self._lock:
+            self.max_bytes = max_bytes
+            self._shrink_locked()
+
+    # -- internals (caller holds the lock) -----------------------------
+
+    def _evict_user_locked(self, user: int) -> None:
+        entry = self._entries.pop(user, None)
+        if entry is not None:
+            self._bytes -= entry.bytes
+
+    def _shrink_locked(self) -> None:
+        while self._entries and self._bytes > self.max_bytes:
+            _, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.bytes
+            self.stats.evictions += 1

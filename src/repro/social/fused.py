@@ -1,0 +1,87 @@
+"""Fused same-user batch scoring for ``query_many``.
+
+A batch often carries several *distinct* requests from one hot query
+user — different ``k``, different ``alpha`` — that today each pay for
+their own social expansion.  All of them are functions of the same two
+columns (the user's social distances and the distances to the user's
+location), so :func:`fused_variants` materialises the social column
+once (through the :class:`~repro.social.cache.SocialColumnCache`, so a
+second batch pays nothing at all), derives the spatial column once, and
+answers every ``(k, alpha)`` variant via the
+:meth:`~repro.backend.base.Kernels.blend_topk_multi` kernel — one
+columnar blend + top-k pass per variant over shared inputs.
+
+Exactness: each variant's pass is exactly the
+:func:`~repro.social.scan.dense_scan` computation (same ``blend``, same
+query-user exclusion, same ``(score, id)`` top-k), so every fused
+answer is bit-identical to what ``engine.query`` returns for that
+request — the differential suite pins this per variant, including the
+``Neighbor`` field conventions at the α endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.ranking import RankingFunction
+from repro.core.result import Neighbor, SSRQResult
+from repro.core.stats import SearchStats
+from repro.social.scan import materialize_column
+from repro.utils.validation import check_user
+
+INF = math.inf
+_NAN = math.nan
+
+__all__ = ["fused_variants"]
+
+
+def fused_variants(engine, user: int, variants) -> list[SSRQResult]:
+    """Answer ``variants`` — ``[(k, alpha, method), ...]`` for one query
+    ``user`` — from a single column materialisation.
+
+    Callers guarantee every ``method`` is forward-deterministic and, for
+    any variant with ``alpha < 1``, that ``user`` is located (the
+    batching layer checks; unlocated users keep the per-query path and
+    its exact error behaviour).
+    """
+    check_user(user, engine.graph.n)
+    kernels = engine.kernels
+    start = time.perf_counter()
+
+    ranks = [RankingFunction(alpha, engine.normalization) for _k, alpha, _m in variants]
+    needs_social = any(r.needs_social for r in ranks)
+    needs_spatial = any(r.needs_spatial for r in ranks)
+
+    social_col = materialize_column(engine, user) if needs_social else None
+    spatial_col = None
+    if needs_spatial:
+        location = engine.locations.get(user)
+        qx, qy = location if location is not None else (_NAN, _NAN)
+        xs, ys = engine.locations.columns()
+        spatial_col = kernels.euclidean_to_point(xs, ys, qx, qy)
+
+    requests = [(k, rank.w_social, rank.w_spatial) for (k, _a, _m), rank in zip(variants, ranks)]
+    picks = kernels.blend_topk_multi(requests, social_col, spatial_col, exclude=user)
+
+    results = []
+    group = len(variants)
+    share = (time.perf_counter() - start) / group
+    for (k, alpha, method), rank, top in zip(variants, ranks, picks):
+        # A term the ranking does not need reads inf — the same field
+        # convention every searcher follows at the alpha endpoints.
+        neighbors = [
+            Neighbor(
+                u,
+                s,
+                float(social_col[u]) if rank.needs_social else INF,
+                float(spatial_col[u]) if rank.needs_spatial else INF,
+            )
+            for u, s in top
+        ]
+        stats = SearchStats()
+        stats.candidates_scored = len(neighbors)
+        stats.extra["fused_group"] = group
+        stats.elapsed = share
+        results.append(SSRQResult(user, k, alpha, neighbors, stats, method=method))
+    return results

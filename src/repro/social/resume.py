@@ -1,0 +1,112 @@
+"""Replay-then-continue adapter over a parked :class:`DijkstraIterator`.
+
+SFA's enumeration loop and TSA's candidate admission both assume the
+social stream yields *every* settled vertex through :meth:`next`, in
+settle order, exactly once — and TSA additionally keys admission on
+``u not in social.settled`` at the moment a spatial pop arrives.  A
+parked iterator checked out of the
+:class:`~repro.social.cache.SocialColumnCache` violates both: its
+already-settled prefix would never be re-produced, and its ``settled``
+map is "from the future" relative to a cold run.
+
+:class:`ReplayedDijkstra` restores the cold-run contract.  It re-yields
+the parked prefix from the inner iterator's insertion-ordered
+``settled`` dict (Dijkstra settle order is deterministic here: the
+``MinHeap`` orders by ``(distance, vertex)`` tuples, so distance ties
+break toward smaller ids), maintaining a *shadow* ``settled`` map that
+grows exactly as a cold iterator's would; once the prefix is drained it
+advances the inner iterator live, mirroring new settles into the
+shadow.  Distances are the parked run's exact values — Dijkstra
+distances are schedule-independent — so the replayed stream is
+bit-identical to a cold expansion, only cheaper: replay is a list walk,
+not a heap churn.
+
+SPA needs none of this: it only calls :meth:`DijkstraIterator.run_until`,
+which consults ``settled`` before advancing, so a parked iterator is
+resumed *directly* — that is the pure "resume the prior expansion"
+win.
+"""
+
+from __future__ import annotations
+
+from repro.graph.traversal import DijkstraIterator
+
+__all__ = ["ReplayedDijkstra"]
+
+
+class ReplayedDijkstra:
+    """A parked Dijkstra expansion presented as if freshly started.
+
+        >>> from repro import SocialGraph
+        >>> from repro.graph.traversal import DijkstraIterator
+        >>> from repro.social import ReplayedDijkstra
+        >>> g = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        >>> parked = DijkstraIterator(g, 0)
+        >>> parked.next()           # settles the source ...
+        (0, 0.0)
+        >>> parked.next()           # ... and one neighbour, then parks
+        (1, 1.0)
+        >>> replay = ReplayedDijkstra(parked)
+        >>> [replay.next() for _ in range(3)]   # prefix replayed, then live
+        [(0, 0.0), (1, 1.0), (2, 2.0)]
+        >>> replay.exhausted
+        True
+    """
+
+    __slots__ = ("inner", "settled", "_prefix", "_pos", "_last_distance")
+
+    def __init__(self, inner: DijkstraIterator) -> None:
+        self.inner = inner
+        #: shadow settle map — grows exactly like a cold iterator's
+        self.settled: dict[int, float] = {}
+        self._prefix = list(inner.settled.items())
+        self._pos = 0
+        self._last_distance = 0.0
+
+    # -- pass-throughs the searchers touch ------------------------------
+
+    @property
+    def graph(self):
+        return self.inner.graph
+
+    @property
+    def source(self) -> int:
+        return self.inner.source
+
+    @property
+    def heap(self):
+        """The *inner* heap (callers diff ``heap.pops`` around their run,
+        so replayed vertices — no heap traffic — cost zero pops)."""
+        return self.inner.heap
+
+    @property
+    def last_distance(self) -> float:
+        return self._last_distance
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._prefix) and self.inner.exhausted
+
+    # -- the stream ------------------------------------------------------
+
+    def next(self) -> tuple[int, float] | None:
+        """The next ``(vertex, distance)`` a cold expansion would settle:
+        first the parked prefix (replayed for free), then live settles
+        advancing the inner iterator."""
+        if self._pos < len(self._prefix):
+            v, d = self._prefix[self._pos]
+            self._pos += 1
+        else:
+            item = self.inner.next()
+            if item is None:
+                return None
+            v, d = item
+        self.settled[v] = d
+        self._last_distance = d
+        return v, d
+
+    def run_to_completion(self) -> dict[int, float]:
+        """Drain the stream; returns the (complete) inner settle map."""
+        while self.next() is not None:
+            pass
+        return self.inner.settled

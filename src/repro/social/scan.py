@@ -1,0 +1,97 @@
+"""Columnar SSRQ evaluation off a materialised social column.
+
+:func:`dense_scan` is the scoring tail of
+:class:`~repro.core.bruteforce.BruteForceSearch`, factored out so every
+consumer of a cached column — a full-column hit inside SFA/SPA/TSA, the
+sharded coordinator's scatter bypass, the fused ``query_many`` path —
+scores through literally the same kernel calls as bruteforce.  That is
+what makes the cache's exactness invariant a *structural* property
+rather than a per-call-site proof: a dense ``blend`` +
+``top_k_by_score`` over exact columns selects, for any ``(k, α)``, the
+same ``(score, id)``-minimal set every forward-deterministic method
+enumerates (all of them terminate on strict bound excess and tie-break
+toward smaller ids), with the same ``Neighbor`` field conventions
+(a term the ranking does not need reads ``inf``).
+
+:func:`materialize_column` is the one producer: cache-first (full hit →
+no traversal; parked partial → resume to exhaustion), expanding from
+scratch only on a true miss, and always parking the finished column
+back for the next query.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ranking import RankingFunction
+from repro.core.result import Neighbor
+from repro.graph.traversal import DijkstraIterator
+
+INF = math.inf
+_NAN = math.nan
+
+__all__ = ["dense_scan", "materialize_column"]
+
+
+def dense_scan(
+    kernels,
+    n: int,
+    rank: RankingFunction,
+    social_column,
+    locations,
+    query_user: int,
+    k: int,
+    initial=None,
+) -> tuple[list[Neighbor], int]:
+    """Score every user against ``social_column`` in one columnar pass.
+
+    ``social_column`` must follow the bruteforce convention: exact
+    distances with ``inf`` for unreachable users, or all-``inf`` when
+    ``rank.needs_social`` is false.  The spatial column is derived here
+    the same way bruteforce derives it (a NaN query point — irrelevant
+    term or unlocated query user — makes the kernel emit ``inf``
+    everywhere).  Returns ``(neighbors, finite)`` where ``finite`` is
+    the number of finitely-scored users (the scan's evaluation count).
+    """
+    location = locations.get(query_user) if rank.needs_spatial else None
+    qx, qy = location if location is not None else (_NAN, _NAN)
+    xs, ys = locations.columns()
+    d = kernels.euclidean_to_point(xs, ys, qx, qy)
+
+    scores = kernels.blend(rank.w_social, rank.w_spatial, social_column, d)
+    scores[query_user] = INF  # never report the query user
+    top = kernels.top_k_by_score(scores, range(n), k)
+    neighbors = [
+        Neighbor(int(u), float(scores[u]), float(social_column[u]), float(d[u]))
+        for u in top
+    ]
+    if initial is not None:
+        for nb in neighbors:
+            initial.offer(nb.user, nb.score, nb.social, nb.spatial)
+        neighbors = initial.neighbors()
+    return neighbors, kernels.count_finite(scores)
+
+
+def materialize_column(engine, user: int):
+    """The dense social-distance column from ``user``, produced through
+    the engine's :class:`~repro.social.cache.SocialColumnCache` when one
+    is attached: a full hit returns without traversal, a parked partial
+    resumes from its settled radius, and whatever was expanded is parked
+    back as a full column for the next query from ``user``."""
+    kernels = engine.kernels
+    n = engine.graph.n
+    cache = getattr(engine, "social_cache", None)
+    it = None
+    if cache is not None:
+        kind, payload = cache.acquire(user)
+        if kind == "full":
+            return payload
+        if kind == "partial":
+            it = payload
+    if it is None:
+        it = DijkstraIterator(engine.graph, user)
+    it.run_to_completion()
+    column = kernels.dense_from_dict(n, it.settled, INF)
+    if cache is not None:
+        cache.store_full(user, column)
+    return column

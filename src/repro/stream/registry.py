@@ -512,13 +512,21 @@ class SubscriptionRegistry:
 
     def _social_distance_locked(self, sub: Subscription, engine, user: int) -> float:
         """Exact social distance ``p(q, user)`` as every forward-stream
-        method computes it (the resumable per-subscription Dijkstra is
-        kept across repairs — the graph only changes on engine swaps,
-        which drop it)."""
+        method computes it.  A full column in the engine's
+        :class:`~repro.social.cache.SocialColumnCache` answers without
+        any traversal (the column holds exactly the distances
+        ``run_until`` would settle, ``inf`` included); otherwise the
+        resumable per-subscription Dijkstra is kept across repairs —
+        the graph only changes on engine swaps, which drop it."""
+        self.stats.entrant_evaluations += 1
+        cache = getattr(engine, "social_cache", None)
+        if cache is not None:
+            column = cache.peek_full(sub.user)
+            if column is not None:
+                return float(column[user])
         it = sub._dijkstra
         if it is None or it.graph is not engine.graph:
             it = sub._dijkstra = DijkstraIterator(engine.graph, sub.user)
-        self.stats.entrant_evaluations += 1
         return it.run_until(user)
 
     def _recompute_locked(self, sub: Subscription, engine) -> str:

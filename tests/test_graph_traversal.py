@@ -105,6 +105,75 @@ class TestDijkstraIterator:
         assert it.last_distance >= 1.5 or it.exhausted
 
 
+class TestPauseResumeContracts:
+    """The park/resume contracts the social column cache
+    (:mod:`repro.social`) checks iterators out and back in under: a
+    parked expansion must behave exactly like one that never paused."""
+
+    def test_run_until_settled_target_is_idempotent_after_pause(self):
+        # Re-querying an already-settled target after a pause reads the
+        # settled map — no heap work, no state change.
+        g = random_graph(40, 5.0, seed=9)
+        it = DijkstraIterator(g, 0)
+        for _ in range(10):
+            if it.next() is None:
+                break
+        snapshot = dict(it.settled)
+        pops = it.heap.pops
+        for v, d in snapshot.items():
+            assert it.run_until(v) == d
+        assert it.heap.pops == pops
+        assert it.settled == snapshot
+
+    def test_resumed_completion_matches_fresh_including_settle_order(self):
+        # A paused-and-resumed expansion lands on the same distances in
+        # the same settle order as an uninterrupted one (settle order =
+        # dict insertion order is what ReplayedDijkstra replays).
+        g = random_graph(50, 4.0, seed=17)
+        fresh = DijkstraIterator(g, 3)
+        fresh.run_to_completion()
+        paused = DijkstraIterator(g, 3)
+        for _ in range(7):
+            paused.next()
+        paused.run_to_completion()
+        assert paused.settled == fresh.settled
+        assert list(paused.settled) == list(fresh.settled)
+
+    def test_exhaustion_is_stable(self):
+        # Once exhausted, an iterator stays exhausted: next() keeps
+        # returning None and run_until keeps answering from settled /
+        # inf — the promotion-to-full-column precondition.
+        g = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        it = DijkstraIterator(g, 0)
+        it.run_to_completion()
+        assert it.exhausted
+        assert it.next() is None
+        assert it.run_until(3) == INF
+        assert it.run_until(2) == 2.0
+        assert it.exhausted and it.next() is None
+
+    def test_target_requery_across_interleaved_advancement(self):
+        # Settle a target, pause, advance past it for unrelated work,
+        # re-query: the distance is final and unchanged.
+        g = random_graph(60, 5.0, seed=23)
+        it = DijkstraIterator(g, 1)
+        targets = [v for v in (5, 9, 14) if v != 1]
+        first = {v: it.run_until(v) for v in targets}
+        it.run_past(max(d for d in first.values() if d != INF) + 0.5)
+        for v in targets:
+            assert it.run_until(v) == first[v]
+
+    def test_last_distance_survives_pause(self):
+        g = random_graph(40, 4.0, seed=31)
+        it = DijkstraIterator(g, 0)
+        it.next()
+        it.next()
+        frontier = it.last_distance
+        # a pause (no calls) obviously keeps it; a settled re-query must too
+        it.run_until(next(iter(it.settled)))
+        assert it.last_distance == frontier
+
+
 class TestHelpers:
     def test_dijkstra_cutoff(self):
         got = dijkstra_distances(PATH, 0, cutoff=1.5)

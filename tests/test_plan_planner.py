@@ -70,8 +70,9 @@ class TestRules:
 class TestFeatures:
     def test_bucket_is_small_and_stable(self):
         f = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
-        assert f.bucket() == (2, 1, 3, 1, 0, 0)
+        assert f.bucket() == (2, 1, 3, 1, 0, 0, 0)
         assert QueryFeatures(k=1, alpha=0.01, degree=0, cell_density=0.0).bucket() == (
+            0,
             0,
             0,
             0,
@@ -83,7 +84,18 @@ class TestFeatures:
         huge = QueryFeatures(
             k=10**6, alpha=0.99, degree=10**9, cell_density=1e9, fanout=10**3
         )
-        assert huge.bucket() == (3, 3, 6, 3, 3, 0)
+        assert huge.bucket() == (3, 3, 6, 3, 3, 0, 0)
+
+    def test_social_hit_feature_separates_warm_from_cold_regime(self):
+        """A cached full social column collapses forward-deterministic
+        methods to one dense scan, so warm and cold executions of the
+        same query must key different cost-model buckets."""
+        base = QueryFeatures(k=30, alpha=0.3, degree=12, cell_density=1.5)
+        warm = QueryFeatures(
+            k=30, alpha=0.3, degree=12, cell_density=1.5, social_hit=True
+        )
+        assert base.bucket() != warm.bucket()
+        assert base.bucket()[:6] == warm.bucket()[:6]
 
     def test_budget_feature_separates_exact_from_approx_regime(self):
         """budget occupies the last bucket slot; unset and 0 land in
@@ -369,7 +381,14 @@ class TestSearcherContract:
             assert isinstance(engine.searcher(method, t=20), Searcher), method
 
     @pytest.mark.parametrize("method", ["sfa", "spa", "tsa", "tsa-qc", "ais", "bruteforce"])
-    def test_execution_stats_populated(self, engine, method):
+    def test_execution_stats_populated(self, method):
+        # A cache-disabled engine: these assertions pin the *traversal*
+        # counters (pops, cells opened), which a warm social column
+        # legitimately zeroes out on the dense-scan fast path.
+        graph, locations = random_instance(250, seed=11, coverage=0.8)
+        engine = GeoSocialEngine(
+            graph, locations, num_landmarks=3, s=4, seed=5, social_cache_bytes=0
+        )
         user = next(iter(engine.locations.located_users()))
         result = engine.query(user, k=10, alpha=0.5, method=method)
         stats = result.stats

@@ -30,7 +30,7 @@ SUBPACKAGES = [
 
 
 def test_version():
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_all_exports_resolve():
